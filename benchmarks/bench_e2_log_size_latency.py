@@ -1,0 +1,60 @@
+"""E2 — "the bigger the [log] size, the higher the latency to store it".
+
+Sweeps the log payload size (request padding) and measures the time from
+log submission at a Logging Interface to chain finality.  The paper's
+claim is qualitative; the shape to reproduce is monotone growth of commit
+latency (and on-chain bytes) with entry size.
+"""
+
+import pytest
+
+from benchmarks.common import bench_drams_config, mean, p95
+from repro.federation.federation import FederationConfig
+from repro.harness import MonitoredFederation
+from repro.metrics.tables import format_table
+from repro.workload.scenarios import healthcare_scenario
+
+PADDING_SIZES = [0, 1024, 8 * 1024, 32 * 1024, 128 * 1024]
+REQUESTS = 20
+
+
+def run_at_size(padding: int, seed: int) -> dict:
+    scenario = healthcare_scenario()
+    scenario.workload.payload_padding_bytes = padding
+    stack = MonitoredFederation.build(
+        scenario, clouds=2, seed=seed,
+        drams_config=bench_drams_config(),
+        federation_config=FederationConfig(
+            name=f"e2-{padding}", cloud_count=2, seed=seed,
+            wan_bandwidth_bps=1e7))  # constrained WAN: size effects visible
+    stack.start()
+    stack.issue_requests(REQUESTS)
+    stack.run(until=120.0)
+    commits = stack.drams.commit_latencies()
+    assert len(commits) >= REQUESTS * 3, "most log entries must finalise"
+    return {
+        "entry_size": f"{padding // 1024}KiB" if padding else "64B",
+        "commit_mean_s": round(mean(commits), 3),
+        "commit_p95_s": round(p95(commits), 3),
+        "bytes_on_wire_MB": round(
+            stack.federation.network.stats.bytes_sent / 1e6, 2),
+        "chain_height": stack.drams.reference_chain().height,
+    }
+
+
+def test_e2_commit_latency_grows_with_log_size(report, benchmark):
+    rows = [run_at_size(padding, seed=20 + i)
+            for i, padding in enumerate(PADDING_SIZES)]
+    table = format_table(
+        rows, title="E2: log entry size vs on-chain commit latency "
+                     f"({REQUESTS} requests, 4 entries each, WAN 10 Mbit/s)")
+    report("e2_log_size_latency", table)
+
+    # Shape: monotone-ish growth end to end; the largest size must cost
+    # visibly more than the smallest, on both latency and wire bytes.
+    assert rows[-1]["commit_mean_s"] > rows[0]["commit_mean_s"]
+    assert rows[-1]["bytes_on_wire_MB"] > rows[0]["bytes_on_wire_MB"] * 5
+
+    # Benchmark kernel: one mid-size run.
+    benchmark.pedantic(lambda: run_at_size(8 * 1024, seed=99),
+                       rounds=2, iterations=1)

@@ -1,0 +1,89 @@
+"""E4 — "a lightweight PoW ... does not ensure strong integrity guarantees".
+
+Quantifies the warning: an insider controlling a fraction of the
+federation's hashrate tries to rewrite a committed log entry buried z
+blocks deep.  The table reports the Monte-Carlo success rate (the same
+memoryless mining model the simulated nodes use) next to the closed-form
+Nakamoto probability; the two must agree, and the qualitative shape —
+small private networks with cheap PoW are rewritable, depth and honest
+majority restore safety — is the paper's point.
+"""
+
+import pytest
+
+from benchmarks.common import mean
+from repro.common.rng import SeededRng
+from repro.metrics.tables import format_table
+from repro.threats.chain_attacks import (
+    nakamoto_success_probability,
+    simulate_rewrite_race,
+)
+
+FRACTIONS = [0.10, 0.25, 0.33, 0.45]
+DEPTHS = [1, 3, 6]
+TRIALS = 3000
+
+
+def test_e4_rewrite_probability_surface(report, benchmark):
+    rng = SeededRng(404, "e4")
+    rows = []
+    for fraction in FRACTIONS:
+        for depth in DEPTHS:
+            result = simulate_rewrite_race(rng, fraction, depth, trials=TRIALS)
+            formula = nakamoto_success_probability(fraction, depth)
+            rows.append({
+                "attacker_hashrate": f"{fraction:.0%}",
+                "depth_blocks": depth,
+                "mc_success": round(result.success_rate, 4),
+                "nakamoto_formula": round(formula, 4),
+                "mean_race_blocks": round(result.mean_race_blocks, 1),
+            })
+            # Cross-validation: the simulator's mining model reproduces
+            # the analytical result.
+            assert result.success_rate == pytest.approx(formula, abs=0.035)
+    table = format_table(
+        rows, title=f"E4: log-rewrite success probability "
+                    f"({TRIALS} Monte-Carlo races per cell)")
+    report("e4_integrity_attack", table)
+
+    by_cell = {(row["attacker_hashrate"], row["depth_blocks"]): row["mc_success"]
+               for row in rows}
+    # Shape 1: deeper burial always helps.
+    for fraction in FRACTIONS:
+        key = f"{fraction:.0%}"
+        assert by_cell[(key, 6)] <= by_cell[(key, 1)]
+    # Shape 2: a 10% attacker is near-powerless at depth 6; a 45% attacker
+    # is dangerous at any depth — the "weak integrity" the paper warns of.
+    assert by_cell[("10%", 6)] < 0.01
+    assert by_cell[("45%", 6)] > 0.3
+
+    benchmark.pedantic(
+        lambda: simulate_rewrite_race(SeededRng(1, "bench"), 0.25, 3,
+                                      trials=500),
+        rounds=3, iterations=1)
+
+
+def test_e4_confirmation_policy_recommendation(report, benchmark):
+    """Derived table: confirmations needed to push risk under thresholds."""
+    rows = []
+    for fraction in (0.10, 0.20, 0.30):
+        depths_needed = {}
+        for threshold in (0.01, 0.001):
+            depth = 0
+            while nakamoto_success_probability(fraction, depth) > threshold:
+                depth += 1
+                if depth > 500:
+                    break
+            depths_needed[threshold] = depth
+        rows.append({
+            "attacker_hashrate": f"{fraction:.0%}",
+            "confirmations_for_1%": depths_needed[0.01],
+            "confirmations_for_0.1%": depths_needed[0.001],
+        })
+    table = format_table(
+        rows, title="E4b: confirmation depth needed per attacker strength")
+    report("e4_integrity_attack", table)
+    needed = [row["confirmations_for_1%"] for row in rows]
+    assert needed == sorted(needed), "stronger attackers need more depth"
+
+    benchmark(lambda: nakamoto_success_probability(0.3, 12))

@@ -1,0 +1,179 @@
+"""E5 — the hybrid database+blockchain trade-off (paper reference [9]).
+
+Runs the same log-write workload against the pure on-chain store, a plain
+database and the hybrid store at several anchoring intervals, and reports:
+
+- acknowledgement latency (what the writer waits for),
+- durable/tamper-evident latency (when integrity protection begins),
+- on-chain bytes (the cost side of the paper's "cost" axis),
+- the integrity window, and whether post-hoc tampering is detectable.
+
+Shape to reproduce: hybrid acknowledges orders of magnitude faster than
+pure-chain while keeping tamper evidence (delayed by the anchor interval);
+the plain database is fastest and proves nothing.
+"""
+
+import pytest
+
+from benchmarks.common import bench_chain_config, mean
+from repro.blockchain.contracts import ContractRegistry, KeyValueContract
+from repro.blockchain.node import BlockchainNode
+from repro.common.rng import SeededRng
+from repro.crypto.signatures import SigningKey
+from repro.metrics.tables import format_table
+from repro.simnet.latency import ConstantLatency
+from repro.simnet.network import Network
+from repro.simnet.simulator import Simulator
+from repro.storage.auditor import IntegrityAuditor
+from repro.storage.database import DatabaseStore
+from repro.storage.hybrid import HybridStore
+from repro.storage.purechain import PureChainStore
+
+ENTRIES = 80
+WRITE_INTERVAL = 0.1
+
+
+def build_node(seed: int):
+    sim = Simulator()
+    rng = SeededRng(seed, "e5")
+    network = Network(sim, rng, ConstantLatency(0.002))
+    registry = ContractRegistry()
+    registry.deploy(KeyValueContract())
+    node_key = SigningKey.generate(b"node")
+    client_key = SigningKey.generate(b"client")
+    keys = {"node-1": node_key.public, "client": client_key.public}
+    node = BlockchainNode(network, "node-1",
+                          bench_chain_config(target_block_interval=1.0),
+                          registry, rng, key_lookup=keys.get,
+                          signing_key=node_key, hashrate=1024.0)
+    node.connect([])
+    node.start()
+    return sim, rng, node, client_key
+
+
+def feed(sim, store_fn):
+    for index in range(ENTRIES):
+        sim.schedule(index * WRITE_INTERVAL,
+                     lambda index=index: store_fn(
+                         f"log-{index}", {"entry": index, "data": "x" * 64}))
+
+
+def run_pure_chain(seed: int) -> dict:
+    sim, rng, node, client_key = build_node(seed)
+    store = PureChainStore(node, "client", client_key)
+    feed(sim, lambda key, value: store.store(key, value))
+    sim.run(until=120.0)
+    onchain_bytes = sum(block.body_size_bytes()
+                        for block in node.chain.main_chain())
+    return {
+        "store": "pure-chain",
+        "ack_ms": round(mean(store.durable_latencies) * 1000, 1),
+        "tamper_evident_after_ms": round(mean(store.durable_latencies) * 1000, 1),
+        "onchain_KB": round(onchain_bytes / 1024, 1),
+        "integrity_window_s": 0.0,
+        "tamper_detectable": "yes (all entries)",
+    }
+
+
+def run_database_only(seed: int) -> dict:
+    sim = Simulator()
+    database = DatabaseStore(sim, SeededRng(seed, "e5-db"))
+    latencies = []
+    starts = {}
+
+    def store(key, value):
+        starts[key] = sim.now
+        database.write(key, value,
+                       on_ack=lambda k: latencies.append(sim.now - starts[k]))
+
+    feed(sim, store)
+    sim.run(until=60.0)
+    return {
+        "store": "database-only",
+        "ack_ms": round(mean(latencies) * 1000, 1),
+        "tamper_evident_after_ms": float("inf"),
+        "onchain_KB": 0.0,
+        "integrity_window_s": float("inf"),
+        "tamper_detectable": "no",
+    }
+
+
+def run_hybrid(anchor_interval: float, seed: int, tamper: bool = False) -> dict:
+    sim, rng, node, client_key = build_node(seed)
+    database = DatabaseStore(sim, rng)
+    store = HybridStore(database, node, "client", client_key,
+                        anchor_interval=anchor_interval)
+    store.start()
+    feed(sim, lambda key, value: store.store(key, value))
+    sim.run(until=150.0)
+    detection = "-"
+    if tamper:
+        database.tamper("log-5", {"entry": "FORGED"})
+        audit = IntegrityAuditor(database, store).audit()
+        detection = "yes (batch-level)" if not audit.clean else "MISSED"
+    onchain_bytes = sum(block.body_size_bytes()
+                        for block in node.chain.main_chain())
+    return {
+        "store": f"hybrid({anchor_interval:.0f}s anchors)",
+        "ack_ms": round(mean(store.ack_latencies) * 1000, 1),
+        "tamper_evident_after_ms": round(
+            (anchor_interval / 2 + mean(store.anchor_latencies)) * 1000, 1),
+        "onchain_KB": round(onchain_bytes / 1024, 1),
+        "integrity_window_s": round(store.integrity_window(), 1),
+        "tamper_detectable": detection if tamper else "yes (after anchor)",
+    }
+
+
+def test_e5_storage_tradeoff(report, benchmark):
+    rows = [
+        run_pure_chain(seed=1),
+        run_database_only(seed=2),
+        run_hybrid(1.0, seed=3),
+        run_hybrid(5.0, seed=4),
+        run_hybrid(15.0, seed=5, tamper=True),
+    ]
+    table = format_table(
+        rows, title=f"E5: log storage backends ({ENTRIES} entries, "
+                    f"one every {WRITE_INTERVAL}s)")
+    report("e5_hybrid_storage", table)
+
+    pure, db_only = rows[0], rows[1]
+    hybrids = rows[2:]
+    # Shape 1: hybrid acks like a database, not like a chain.
+    for hybrid in hybrids:
+        assert hybrid["ack_ms"] < pure["ack_ms"] / 20
+        assert hybrid["ack_ms"] < 20.0
+    # Shape 2: hybrid still produces tamper evidence; database cannot.
+    assert rows[4]["tamper_detectable"].startswith("yes")
+    assert db_only["tamper_detectable"] == "no"
+    # Shape 3: anchoring compresses on-chain bytes vs storing every entry.
+    assert hybrids[1]["onchain_KB"] < pure["onchain_KB"] / 3
+    # Shape 4: the integrity window grows with the anchor interval — the
+    # trade-off axis the paper names.
+    windows = [hybrid["integrity_window_s"] for hybrid in hybrids]
+    assert windows == sorted(windows)
+
+    benchmark.pedantic(lambda: run_hybrid(5.0, seed=42), rounds=2, iterations=1)
+
+
+def test_e5_window_tampering_is_invisible(report, benchmark):
+    """The cost side: pre-anchor tampering evades the auditor."""
+    sim, rng, node, client_key = build_node(77)
+    database = DatabaseStore(sim, rng)
+    store = HybridStore(database, node, "client", client_key,
+                        anchor_interval=30.0)  # long window
+    store.start()
+    store.store("victim", {"entry": "original"})
+    sim.run(until=2.0)  # before the first anchor fires
+    database.tamper("victim", {"entry": "FORGED"})
+    sim.run(until=120.0)  # anchor now covers the forged value
+    audit = IntegrityAuditor(database, store).audit()
+    table = format_table([{
+        "scenario": "tamper inside the integrity window",
+        "anchors": len(store.anchors),
+        "violations_found": len(audit.batches_violated),
+        "forged_value_now_anchored": database.get("victim")["entry"] == "FORGED",
+    }], title="E5b: the integrity window is real exposure")
+    report("e5_hybrid_storage", table)
+    assert audit.batches_violated == []  # the forgery was anchored as truth
+    benchmark(lambda: IntegrityAuditor(database, store).audit())

@@ -1,0 +1,85 @@
+"""E7 — monitoring overhead and federation-size scalability.
+
+The architecture adds probes, per-tenant Logging Interfaces and a
+blockchain to a working access control system; this experiment measures
+what that costs:
+
+- **overhead arm**: end-to-end access latency with monitoring off vs on
+  (the probes are asynchronous, so enforcement latency should be nearly
+  unchanged — the cost appears as network/chain load, not user latency);
+- **scalability arm**: federation size sweep (2..5 clouds), reporting
+  access latency, log-commit latency and chain throughput as tenants are
+  added.
+"""
+
+import pytest
+
+from benchmarks.common import bench_drams_config, build_stack, mean, p95
+from repro.harness import MonitoredFederation
+from repro.metrics.tables import format_table
+from repro.workload.scenarios import healthcare_scenario
+
+REQUESTS = 30
+
+
+def run_arm(with_drams: bool, clouds: int, seed: int) -> dict:
+    stack = MonitoredFederation.build(
+        healthcare_scenario(), clouds=clouds, seed=seed,
+        with_drams=with_drams,
+        drams_config=bench_drams_config() if with_drams else None)
+    stack.start()
+    stack.issue_requests(REQUESTS)
+    stack.run(until=90.0)
+    latencies = stack.access_latencies()
+    assert len(latencies) == REQUESTS
+    row = {
+        "config": f"{clouds} clouds, monitoring "
+                  f"{'ON' if with_drams else 'off'}",
+        "access_p50_ms": round(sorted(latencies)[len(latencies) // 2] * 1000, 2),
+        "access_p95_ms": round(p95(latencies) * 1000, 2),
+        "wire_MB": round(stack.federation.network.stats.bytes_sent / 1e6, 2),
+    }
+    if with_drams:
+        commits = stack.drams.commit_latencies()
+        row["log_commit_mean_s"] = round(mean(commits), 2)
+        row["chain_height"] = stack.drams.reference_chain().height
+    else:
+        row["log_commit_mean_s"] = "-"
+        row["chain_height"] = "-"
+    return row
+
+
+def test_e7_monitoring_overhead(report, benchmark):
+    off = run_arm(with_drams=False, clouds=2, seed=70)
+    on = run_arm(with_drams=True, clouds=2, seed=70)
+    table = format_table([off, on],
+                         title="E7a: access latency with monitoring off/on")
+    report("e7_overhead_scalability", table)
+
+    # Shape: the probes are fire-and-forget, so the enforcement path must
+    # not slow down materially (allow 25% margin for event interleaving),
+    # while the monitoring traffic dominates the wire bytes.
+    assert on["access_p50_ms"] < off["access_p50_ms"] * 1.25
+    assert on["wire_MB"] > off["wire_MB"] * 2
+
+    benchmark.pedantic(lambda: run_arm(True, 2, seed=71),
+                       rounds=2, iterations=1)
+
+
+def test_e7_federation_size_sweep(report, benchmark):
+    rows = [run_arm(with_drams=True, clouds=clouds, seed=72 + clouds)
+            for clouds in (2, 3, 4, 5)]
+    table = format_table(rows, title="E7b: federation size scalability "
+                                     f"({REQUESTS} requests)")
+    report("e7_overhead_scalability", table)
+
+    # Shape 1: access latency stays flat as tenants join (the PDP is the
+    # only shared component and it is not saturated here).
+    p50s = [row["access_p50_ms"] for row in rows]
+    assert max(p50s) < min(p50s) * 1.6
+    # Shape 2: chain load (wire bytes) grows with federation size —
+    # gossip fan-out plus more logging interfaces.
+    assert rows[-1]["wire_MB"] > rows[0]["wire_MB"]
+
+    benchmark.pedantic(lambda: run_arm(True, 4, seed=99),
+                       rounds=1, iterations=1)

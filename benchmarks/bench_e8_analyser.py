@@ -1,0 +1,126 @@
+"""E8 — Analyser throughput vs policy size.
+
+The Analyser re-derives every decision from the policies in force; its
+cost scales with policy size.  This experiment measures oracle
+decisions/second as the rule count grows (wall-clock, pytest-benchmark
+timed) and the PDP's evaluation throughput for comparison — the two
+engines must stay within the same order of magnitude or the Analyser
+could not keep up with the PDP at runtime.
+"""
+
+import time
+
+import pytest
+
+from repro.analysis.semantics import DecisionOracle
+from repro.metrics.tables import format_table
+from repro.xacml.context import RequestContext
+from repro.xacml.expressions import Apply, AttributeDesignator, Literal
+from repro.xacml.parser import policy_to_dict
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.policy import Effect, Policy, Rule, Target
+
+RULE_COUNTS = [10, 50, 150, 400]
+
+
+def build_policy(rule_count: int) -> Policy:
+    """A realistic policy: per-resource-class permits plus a default deny."""
+    rules = []
+    for index in range(rule_count - 1):
+        rules.append(Rule(
+            f"allow-class-{index}", Effect.PERMIT,
+            target=Target.single("string-equal", f"class-{index}",
+                                 "resource", "type"),
+            condition=Apply("any-of", (
+                Literal("string-equal"), Literal("read"),
+                AttributeDesignator("action", "action-id"))),
+        ))
+    rules.append(Rule("default-deny", Effect.DENY))
+    return Policy(policy_id=f"policy-{rule_count}",
+                  rule_combining="first-applicable", rules=rules)
+
+
+def request_for(index: int, rule_count: int) -> dict:
+    return {
+        "subject": {"role": ["officer"]},
+        "action": {"action-id": ["read"]},
+        "resource": {"type": [f"class-{index % rule_count}"]},
+    }
+
+
+def measure_throughput(fn, requests, seconds_budget=0.4) -> float:
+    started = time.perf_counter()
+    count = 0
+    while time.perf_counter() - started < seconds_budget:
+        fn(requests[count % len(requests)])
+        count += 1
+    return count / (time.perf_counter() - started)
+
+
+def test_e8_analyser_throughput_vs_policy_size(report, benchmark):
+    rows = []
+    for rule_count in RULE_COUNTS:
+        policy = build_policy(rule_count)
+        document = policy_to_dict(policy)
+        oracle = DecisionOracle(document)
+        pdp = PolicyDecisionPoint(policy)
+        requests = [request_for(i, rule_count) for i in range(100)]
+        oracle_tput = measure_throughput(
+            lambda request: oracle.expected_decision(request), requests)
+        pdp_tput = measure_throughput(
+            lambda request: pdp.evaluate(RequestContext.from_dict(request)),
+            requests)
+        rows.append({
+            "rules": rule_count,
+            "oracle_checks_per_s": int(oracle_tput),
+            "pdp_evals_per_s": int(pdp_tput),
+            "oracle_vs_pdp": round(oracle_tput / pdp_tput, 2),
+        })
+    table = format_table(
+        rows, title="E8: decision-checking throughput vs policy size")
+    report("e8_analyser", table)
+
+    # Shape 1: throughput decreases as policies grow.
+    throughputs = [row["oracle_checks_per_s"] for row in rows]
+    assert throughputs[-1] < throughputs[0]
+    # Shape 2: the analyser keeps pace with the PDP (same order of
+    # magnitude) at every size, so runtime checking is feasible.
+    assert all(0.2 < row["oracle_vs_pdp"] < 20 for row in rows)
+
+    document = policy_to_dict(build_policy(150))
+    oracle = DecisionOracle(document)
+    request = request_for(3, 150)
+    benchmark(lambda: oracle.expected_decision(request))
+
+
+def test_e8_property_checking_cost(report, benchmark):
+    """Static analysis cost: exhaustive completeness check vs domain size."""
+    from repro.analysis.properties import AttributeDomain, check_completeness
+
+    rows = []
+    for classes in (4, 8, 16):
+        policy = build_policy(classes)
+        document = policy_to_dict(policy)
+        domain = AttributeDomain()
+        domain.declare("resource", "type", [f"class-{i}" for i in range(classes)])
+        domain.declare("action", "action-id", ["read", "write"])
+        domain.declare("subject", "role", ["officer", "auditor", "intern"])
+        started = time.perf_counter()
+        report_obj = check_completeness(document, domain)
+        elapsed = time.perf_counter() - started
+        rows.append({
+            "rules": classes,
+            "domain_size": domain.size(),
+            "holds": report_obj.holds,
+            "wall_ms": round(elapsed * 1000, 1),
+        })
+    table = format_table(rows, title="E8b: exhaustive completeness checking")
+    report("e8_analyser", table)
+    assert all(row["holds"] for row in rows)
+
+    policy = build_policy(8)
+    document = policy_to_dict(policy)
+    domain = AttributeDomain()
+    domain.declare("resource", "type", [f"class-{i}" for i in range(8)])
+    domain.declare("action", "action-id", ["read", "write"])
+    benchmark(lambda: check_completeness(document, domain))

@@ -1,0 +1,112 @@
+"""Attack detection demo: the full threat catalogue against DRAMS.
+
+Injects each attack from the paper's threat model into its own fresh
+federation, runs a workload, and reports whether (and how fast) DRAMS
+detected it — the runnable version of the paper's Section I claims.
+
+Run:  python examples/attack_detection.py
+"""
+
+from repro.drams.system import DramsConfig
+from repro.blockchain.config import BlockchainConfig
+from repro.harness import MonitoredFederation
+from repro.metrics.tables import format_table
+from repro.threats.adversary import Adversary
+from repro.threats.attacks import (
+    CircumventionAttack,
+    DecisionTamperAttack,
+    EvaluationTamperAttack,
+    LogTamperAttack,
+    PolicySwapAttack,
+    ProbeSuppressionAttack,
+    ReplayAttack,
+    RequestTamperAttack,
+)
+from repro.workload.scenarios import healthcare_scenario
+from repro.xacml.parser import policy_to_dict
+from repro.xacml.policy import Effect, Policy, Rule
+
+
+def demo_config(use_tpm: bool) -> DramsConfig:
+    return DramsConfig(
+        chain=BlockchainConfig(chain_id="demo", difficulty_bits=10.0,
+                               target_block_interval=0.5, retarget_window=0,
+                               pow_mode="simulated", confirmations=2),
+        timeout_blocks=6,
+        tick_interval=1.0,
+        analyser_sweep_interval=1.0,
+        use_tpm=use_tpm,
+        attestation_interval=2.0 if use_tpm else 0.0,
+    )
+
+
+def rogue_policy() -> dict:
+    return policy_to_dict(Policy(
+        policy_id="rogue-permit-all", rule_combining="permit-overrides",
+        rules=[Rule("allow-everything", Effect.PERMIT)]))
+
+
+def run_one(attack, use_tpm=False, seed=123, extra_steps=None):
+    stack = MonitoredFederation.build(healthcare_scenario(), clouds=2,
+                                      seed=seed, drams_config=demo_config(use_tpm))
+    stack.start()
+    adversary = Adversary(stack.drams)
+    adversary.launch(attack, at=0.5)
+    stack.issue_requests(15)
+    if extra_steps:
+        extra_steps(stack, attack)
+    stack.run(until=60.0)
+    record = adversary.records()[0]
+    alert_types = sorted({alert.alert_type.value
+                          for alert in record.matched_alerts})
+    for alert in adversary.false_positives():
+        print(f"  [unattributed alert during {record.attack_name}: "
+              f"{alert.alert_type.value} on {alert.correlation_id[:12]} "
+              f"{alert.details}]")
+    return {
+        "attack": record.attack_name + (" (TPM)" if use_tpm else ""),
+        "detected": "yes" if record.detected else "NO",
+        "latency_s": (round(record.detection_latency, 2)
+                      if record.detection_latency is not None else "-"),
+        "alerts": ", ".join(alert_types) or "-",
+        "false_pos": len(adversary.false_positives()),
+    }
+
+
+def main() -> None:
+    print("Injecting the full attack catalogue (one attack per fresh "
+          "federation)...\n")
+    rows = []
+    rows.append(run_one(RequestTamperAttack("tenant-1",
+                                            escalated_value="doctor"), seed=1))
+    rows.append(run_one(DecisionTamperAttack("tenant-2"), seed=2))
+    rows.append(run_one(CircumventionAttack("tenant-1"), seed=3))
+    rows.append(run_one(EvaluationTamperAttack(), seed=4))
+    rows.append(run_one(PolicySwapAttack(rogue_policy()), seed=5))
+    rows.append(run_one(ProbeSuppressionAttack("pep:tenant-1"), seed=6))
+    rows.append(run_one(LogTamperAttack("tenant-1"), use_tpm=False, seed=7))
+    rows.append(run_one(LogTamperAttack("tenant-1"), use_tpm=True, seed=8))
+
+    def fire_replay(stack, attack):
+        stack.sim.schedule(15.0, lambda: attack.replay_now(
+            stack.drams, {"subject-id": "mallory", "role": "doctor"}))
+
+    rows.append(run_one(ReplayAttack("tenant-1"), seed=9,
+                        extra_steps=fire_replay))
+
+    print(format_table(rows, title="DRAMS detection results"))
+    print("\nReading the table:")
+    print("  - request/decision tampering -> hash-mismatch alerts from the")
+    print("    monitor smart contract (no plaintext needed on-chain);")
+    print("  - circumvention / probe suppression -> timeout sweep flags the")
+    print("    monitoring points that never reported;")
+    print("  - evaluation tampering / policy swap -> only the Analyser's")
+    print("    independent re-derivation catches these (hashes all match);")
+    print("  - log tampering without TPM -> forged commitment disagrees with")
+    print("    the honest side; with TPM the LI loses the sealed key and")
+    print("    attestation pinpoints the compromised host;")
+    print("  - replay -> same correlation id, different payload: equivocation.")
+
+
+if __name__ == "__main__":
+    main()

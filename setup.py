@@ -1,0 +1,4 @@
+"""Setup shim; project metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""DRAMS: Decentralised Runtime Access Monitoring System — reproduction.
+
+Reproduction of "Decentralised Runtime Monitoring for Access Control
+Systems in Cloud Federations" (Ferdous, Margheri, Paci, Yang, Sassone;
+ICDCS 2017).
+
+Quick start (see ``examples/quickstart.py`` for the narrated version)::
+
+    from repro.harness import MonitoredFederation
+    from repro.workload import healthcare_scenario
+
+    stack = MonitoredFederation.build(healthcare_scenario(), clouds=2)
+    stack.start()
+    stack.issue_requests(20)
+    stack.run(until=60.0)
+    print(stack.drams.stats())
+
+Package map:
+
+================  ========================================================
+``repro.drams``    the monitoring system itself (probes, LIs, contract,
+                   analyser, orchestrator)
+``repro.xacml``    the XACML engine the federation's access control runs on
+``repro.accesscontrol``  PEP / PDP / PRP / PAP deployment components
+``repro.blockchain``     the private smart-contract PoW chain
+``repro.analysis``       formal policy semantics and property checking
+``repro.federation``     FaaS topology (clouds, sections, tenants)
+``repro.threats``        injectable attacks and the adversary scheduler
+``repro.storage``        pure-chain / DB / hybrid log stores + auditor
+``repro.baselines``      centralized-monitor baseline
+``repro.workload``       request generators and federation scenarios
+``repro.metrics``        latency/detection summaries, table rendering
+``repro.simnet``         discrete-event simulation substrate
+``repro.crypto``         hashing, AEAD, Merkle, signatures, TPM
+================  ========================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""Context handler: application attributes → XACML request context.
+
+In the XACML dataflow the context handler sits between the PEP and the
+application, normalising native request attributes into the category model.
+Ours also enriches requests with environment attributes (simulated time of
+day, originating tenant) so policies can express temporal and locality
+constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.xacml.context import RequestContext
+
+
+class ContextHandler:
+    """Builds serialized request contexts for a given tenant edge."""
+
+    def __init__(self, tenant_name: str) -> None:
+        self.tenant_name = tenant_name
+
+    def build(self, subject: dict[str, Any], resource: dict[str, Any],
+              action: dict[str, Any], now: float = 0.0,
+              environment: dict[str, Any] | None = None) -> dict:
+        """Return the canonical request-context dict for this access attempt.
+
+        ``now`` is simulated seconds; the handler derives ``time-of-day``
+        (seconds since local midnight) so policies can use
+        ``time-in-range`` conditions.
+        """
+        env: dict[str, Any] = {
+            "origin-tenant": self.tenant_name,
+            "time-of-day": float(now % 86_400),
+        }
+        if environment:
+            env.update(environment)
+        request = RequestContext.of(
+            subject=subject,
+            resource=resource,
+            action=action,
+            environment=env,
+        )
+        return request.to_dict()

@@ -1,0 +1,113 @@
+"""Wire messages between PEPs and the PDP.
+
+The *semantic payloads* (request content, decision content) are hashed by
+DRAMS probes on both sides of each hop; envelope metadata (ids are minted
+once and echoed, timestamps vary per hop) is deliberately excluded from
+the hashed payload so honest latency never looks like tampering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.ids import correlation_id, new_id
+from repro.crypto.hashing import hash_value
+
+
+@dataclass
+class AccessRequest:
+    """An access attempt intercepted by a PEP.
+
+    ``content`` is the serialized XACML request context;
+    ``request_id`` is minted by the receiving PEP and echoed end-to-end;
+    ``issued_at`` is the simulated time the subject made the attempt.
+    """
+
+    content: dict[str, Any]
+    origin_tenant: str
+    request_id: str = field(default_factory=lambda: new_id("req"))
+    issued_at: float = 0.0
+
+    def semantic_payload(self) -> dict:
+        """What tampering would have to change — and what probes hash."""
+        return {"request_id": self.request_id, "content": self.content}
+
+    def payload_hash(self) -> str:
+        return hash_value(self.semantic_payload())
+
+    def correlation(self) -> str:
+        """Monitoring correlation id: unique per request instance.
+
+        Derived from the request id, origin and issue time, so two
+        identical accesses made at different times correlate separately
+        (replayed requests cannot hide under an old correlation).
+        """
+        return correlation_id({
+            "request_id": self.request_id,
+            "origin": self.origin_tenant,
+            "issued_at": self.issued_at,
+        })
+
+    def to_dict(self) -> dict:
+        return {
+            "content": self.content,
+            "origin_tenant": self.origin_tenant,
+            "request_id": self.request_id,
+            "issued_at": self.issued_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessRequest":
+        return cls(
+            content=dict(data["content"]),
+            origin_tenant=data["origin_tenant"],
+            request_id=data["request_id"],
+            issued_at=float(data.get("issued_at", 0.0)),
+        )
+
+
+def decision_payload(request_id: str, decision: str,
+                     obligations: list[dict] | None = None) -> dict:
+    """The semantic decision content hashed at PDP-out and PEP-enforce."""
+    return {
+        "request_id": request_id,
+        "decision": decision,
+        "obligations": obligations or [],
+    }
+
+
+@dataclass
+class AccessDecision:
+    """The PDP's reply travelling back to the PEP."""
+
+    request_id: str
+    decision: str
+    obligations: list[dict] = field(default_factory=list)
+    status_code: str = ""
+    decided_at: float = 0.0
+
+    def semantic_payload(self) -> dict:
+        return decision_payload(self.request_id, self.decision, self.obligations)
+
+    def payload_hash(self) -> str:
+        return hash_value(self.semantic_payload())
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "decision": self.decision,
+            "obligations": list(self.obligations),
+            "status_code": self.status_code,
+            "decided_at": self.decided_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccessDecision":
+        return cls(
+            request_id=data["request_id"],
+            decision=data["decision"],
+            obligations=list(data.get("obligations", [])),
+            status_code=data.get("status_code", ""),
+            decided_at=float(data.get("decided_at", 0.0)),
+        )

@@ -1,0 +1,50 @@
+"""Policy Administration Point.
+
+The management front-end through which federation operators author and
+publish policies.  Publication validates the document (it must parse into
+the object model and evaluate), optionally runs the change-impact analysis
+against the outgoing version, and hands the result to the PRP.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.errors import ValidationError
+from repro.xacml.parser import policy_from_dict, policy_to_dict
+from repro.xacml.policy import Policy, PolicySet
+from repro.accesscontrol.prp import PolicyRetrievalPoint, PolicyVersion
+from repro.analysis.properties import AttributeDomain, change_impact, PropertyReport
+
+
+class PolicyAdministrationPoint:
+    """Author-side policy management."""
+
+    def __init__(self, prp: PolicyRetrievalPoint, administrator: str) -> None:
+        self.prp = prp
+        self.administrator = administrator
+        self.last_impact_report: Optional[PropertyReport] = None
+
+    def publish(self, policy: Union[Policy, PolicySet, dict], published_at: float = 0.0,
+                impact_domain: Optional[AttributeDomain] = None) -> PolicyVersion:
+        """Validate and publish a policy (object or document form).
+
+        When ``impact_domain`` is given and a previous version exists, a
+        change-impact analysis runs first and is stored on
+        ``last_impact_report`` for operator review; publication proceeds
+        regardless (the report is advisory).
+        """
+        if isinstance(policy, dict):
+            document = policy
+            policy_from_dict(document)  # raises if malformed
+        elif isinstance(policy, (Policy, PolicySet)):
+            document = policy_to_dict(policy)
+        else:
+            raise ValidationError(f"cannot publish a {type(policy).__name__}")
+
+        self.last_impact_report = None
+        if impact_domain is not None and self.prp.version_count() > 0:
+            self.last_impact_report = change_impact(
+                self.prp.current().document, document, impact_domain)
+        return self.prp.publish(document, publisher=self.administrator,
+                                published_at=published_at)

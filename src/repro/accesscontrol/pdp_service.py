@@ -1,0 +1,101 @@
+"""The PDP as a deployed network service.
+
+Lives in the infrastructure tenant.  For each ``ac_request`` message it
+fetches the active policy version from the PRP, evaluates the request and
+replies with an ``ac_response``.
+
+Probe hooks (DRAMS attaches here):
+
+- ``on_request_received(request)`` — fired when a request arrives (PDP-in),
+- ``on_decision(request, decision)`` — fired when the decision leaves the
+  component (PDP-out), *after* any compromise interceptor, because a probe
+  can only observe what the component actually emits.
+
+Attack injection: :mod:`repro.threats` installs ``evaluation_interceptor``
+to model a compromised evaluation process, or publishes a rogue policy via
+the PRP to model policy alteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.network import Host, Message, Network
+from repro.xacml.context import RequestContext
+from repro.xacml.parser import policy_from_dict
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.accesscontrol.messages import AccessDecision, AccessRequest
+from repro.accesscontrol.prp import PolicyRetrievalPoint
+
+RequestHook = Callable[[AccessRequest], None]
+DecisionHook = Callable[[AccessRequest, AccessDecision], None]
+EvaluationInterceptor = Callable[[AccessRequest, AccessDecision], AccessDecision]
+
+
+class PdpService(Host):
+    """Network-facing wrapper around the XACML PDP."""
+
+    def __init__(self, network: Network, address: str, prp: PolicyRetrievalPoint,
+                 base_processing_delay: float = 0.0005,
+                 per_rule_delay: float = 0.00001) -> None:
+        super().__init__(network, address)
+        self.prp = prp
+        self.base_processing_delay = base_processing_delay
+        self.per_rule_delay = per_rule_delay
+        self.requests_served = 0
+        self.on_request_received: list[RequestHook] = []
+        self.on_decision: list[DecisionHook] = []
+        self.evaluation_interceptor: Optional[EvaluationInterceptor] = None
+        #: Attack injection point: a rogue policy replacing the PRP view
+        #: (models the attacker altering the policy the PDP enforces).
+        self.policy_override: Optional[PolicyDecisionPoint] = None
+        self._pdp_cache: dict[str, PolicyDecisionPoint] = {}
+
+    # -- policy management -------------------------------------------------------
+
+    def _current_pdp(self) -> PolicyDecisionPoint:
+        version = self.prp.current()
+        pdp = self._pdp_cache.get(version.fingerprint)
+        if pdp is None:
+            pdp = PolicyDecisionPoint(policy_from_dict(version.document))
+            self._pdp_cache = {version.fingerprint: pdp}
+        return pdp
+
+    def _rule_count(self) -> int:
+        document = self.prp.current().document
+        return _count_rules(document)
+
+    # -- message handling -------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        if message.kind != "ac_request":
+            return
+        request = AccessRequest.from_dict(message.payload)
+        for hook in self.on_request_received:
+            hook(request)
+        delay = self.base_processing_delay + self.per_rule_delay * self._rule_count()
+        self.sim.schedule(delay, lambda: self._evaluate_and_reply(request, message.src),
+                          label=f"pdp-eval:{request.request_id}")
+
+    def _evaluate_and_reply(self, request: AccessRequest, reply_to: str) -> None:
+        self.requests_served += 1
+        pdp = self.policy_override or self._current_pdp()
+        response = pdp.evaluate(RequestContext.from_dict(request.content))
+        decision = AccessDecision(
+            request_id=request.request_id,
+            decision=response.decision.value,
+            obligations=[ob.to_dict() for ob in response.obligations],
+            status_code=response.status_code,
+            decided_at=self.sim.now,
+        )
+        if self.evaluation_interceptor is not None:
+            decision = self.evaluation_interceptor(request, decision)
+        for hook in self.on_decision:
+            hook(request, decision)
+        self.send(reply_to, "ac_response", decision.to_dict())
+
+
+def _count_rules(document: dict) -> int:
+    if document.get("kind") == "policy":
+        return len(document.get("rules", []))
+    return sum(_count_rules(child) for child in document.get("children", []))

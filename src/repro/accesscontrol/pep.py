@@ -1,0 +1,146 @@
+"""The Policy Enforcement Point at a tenant's edge.
+
+Receives access attempts from subjects in its tenant, forwards them to the
+PDP and enforces the decision that comes back.  Deny-biased: anything other
+than an explicit Permit is enforced as a denial (the safe default for
+federated data sharing).
+
+Probe hooks (DRAMS attaches here):
+
+- ``on_request_intercepted(request)`` — the access attempt as the subject
+  made it (PEP-in),
+- ``on_enforce(request, decision)`` — the decision as actually enforced
+  (PEP-out), after any compromise interceptor.
+
+Attack injection points used by :mod:`repro.threats`:
+
+- ``forward_interceptor`` rewrites the request between interception and
+  forwarding (request-tampering attack),
+- ``enforcement_interceptor`` rewrites the decision between receipt and
+  enforcement (decision-tampering attack),
+- ``bypass`` fabricates a local decision without consulting the PDP
+  (circumvention attack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.simnet.network import Host, Message, Network
+from repro.accesscontrol.context_handler import ContextHandler
+from repro.accesscontrol.messages import AccessDecision, AccessRequest
+
+RequestHook = Callable[[AccessRequest], None]
+EnforceHook = Callable[[AccessRequest, AccessDecision], None]
+ForwardInterceptor = Callable[[AccessRequest], AccessRequest]
+EnforcementInterceptor = Callable[[AccessRequest, AccessDecision], AccessDecision]
+CompletionCallback = Callable[["EnforcedAccess"], None]
+
+
+@dataclass
+class EnforcedAccess:
+    """Outcome of one access attempt, as seen at the PEP."""
+
+    request: AccessRequest
+    decision: AccessDecision
+    granted: bool
+    requested_at: float
+    enforced_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.enforced_at - self.requested_at
+
+
+class PolicyEnforcementPoint(Host):
+    """Edge enforcement for one tenant."""
+
+    def __init__(self, network: Network, address: str, tenant_name: str,
+                 pdp_address: str, request_timeout: float = 30.0) -> None:
+        super().__init__(network, address)
+        self.tenant_name = tenant_name
+        self.pdp_address = pdp_address
+        self.request_timeout = request_timeout
+        self.context_handler = ContextHandler(tenant_name)
+        self.enforced: list[EnforcedAccess] = []
+        self.timeouts = 0
+        self.on_request_intercepted: list[RequestHook] = []
+        self.on_enforce: list[EnforceHook] = []
+        self.forward_interceptor: Optional[ForwardInterceptor] = None
+        self.enforcement_interceptor: Optional[EnforcementInterceptor] = None
+        self.bypass: Optional[Callable[[AccessRequest], AccessDecision]] = None
+        self._pending: dict[str, tuple[AccessRequest, Optional[CompletionCallback], float, Any]] = {}
+
+    # -- client API -----------------------------------------------------------
+
+    def request_access(self, subject: dict, resource: dict, action: dict,
+                       callback: Optional[CompletionCallback] = None,
+                       environment: dict | None = None) -> AccessRequest:
+        """Entry point for subjects in this tenant."""
+        content = self.context_handler.build(
+            subject=subject, resource=resource, action=action,
+            now=self.sim.now, environment=environment)
+        request = AccessRequest(content=content, origin_tenant=self.tenant_name,
+                                issued_at=self.sim.now)
+        return self.submit(request, callback)
+
+    def submit(self, request: AccessRequest,
+               callback: Optional[CompletionCallback] = None) -> AccessRequest:
+        """Process an already-built access request."""
+        for hook in self.on_request_intercepted:
+            hook(request)
+        if self.bypass is not None:
+            # Circumvention: fabricate a decision locally, never call the PDP.
+            decision = self.bypass(request)
+            self._enforce(request, decision, callback, request.issued_at)
+            return request
+        forwarded = request
+        if self.forward_interceptor is not None:
+            forwarded = self.forward_interceptor(request)
+        timeout_event = self.sim.schedule(
+            self.request_timeout, lambda: self._timeout(request.request_id),
+            label=f"pep-timeout:{request.request_id}")
+        self._pending[request.request_id] = (request, callback, self.sim.now, timeout_event)
+        self.send(self.pdp_address, "ac_request", forwarded.to_dict())
+        return request
+
+    # -- message handling ----------------------------------------------------------
+
+    def receive(self, message: Message) -> None:
+        if message.kind != "ac_response":
+            return
+        decision = AccessDecision.from_dict(message.payload)
+        pending = self._pending.pop(decision.request_id, None)
+        if pending is None:
+            return  # duplicate or timed-out response
+        request, callback, requested_at, timeout_event = pending
+        timeout_event.cancel()
+        if self.enforcement_interceptor is not None:
+            decision = self.enforcement_interceptor(request, decision)
+        self._enforce(request, decision, callback, requested_at)
+
+    def _enforce(self, request: AccessRequest, decision: AccessDecision,
+                 callback: Optional[CompletionCallback], requested_at: float) -> None:
+        for hook in self.on_enforce:
+            hook(request, decision)
+        outcome = EnforcedAccess(
+            request=request,
+            decision=decision,
+            granted=decision.decision == "Permit",
+            requested_at=requested_at,
+            enforced_at=self.sim.now,
+        )
+        self.enforced.append(outcome)
+        if callback is not None:
+            callback(outcome)
+
+    def _timeout(self, request_id: str) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        request, callback, requested_at, _ = pending
+        self.timeouts += 1
+        decision = AccessDecision(request_id=request_id, decision="Deny",
+                                  status_code="timeout", decided_at=self.sim.now)
+        self._enforce(request, decision, callback, requested_at)

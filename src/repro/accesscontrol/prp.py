@@ -1,0 +1,74 @@
+"""Policy Retrieval Point: versioned store of policy documents.
+
+The PDP fetches the active policy from here at evaluation time; the PAP
+publishes new versions; the DRAMS Analyser reads the same store (from its
+own replica) to know the "policies currently in force".  Documents are the
+serialized JSON form — hashing a version gives a tamper-evident policy
+fingerprint that DRAMS logs alongside decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import hash_value
+
+
+@dataclass
+class PolicyVersion:
+    """One published policy document with provenance."""
+
+    version: int
+    document: dict
+    published_at: float
+    publisher: str
+    fingerprint: str = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.fingerprint = hash_value(self.document)
+
+
+class PolicyRetrievalPoint:
+    """Append-only, versioned policy store."""
+
+    def __init__(self) -> None:
+        self._versions: list[PolicyVersion] = []
+        self._listeners: list[Callable[[PolicyVersion], None]] = []
+
+    def publish(self, document: dict, publisher: str,
+                published_at: float = 0.0) -> PolicyVersion:
+        """Append a new active version and notify subscribers."""
+        if document.get("kind") not in ("policy", "policy_set"):
+            raise ValidationError("PRP accepts serialized policy documents only")
+        version = PolicyVersion(
+            version=len(self._versions) + 1,
+            document=document,
+            published_at=published_at,
+            publisher=publisher,
+        )
+        self._versions.append(version)
+        for listener in self._listeners:
+            listener(version)
+        return version
+
+    def current(self) -> PolicyVersion:
+        if not self._versions:
+            raise ValidationError("no policy has been published")
+        return self._versions[-1]
+
+    def get_version(self, version: int) -> PolicyVersion:
+        if not 1 <= version <= len(self._versions):
+            raise ValidationError(f"no such policy version: {version}")
+        return self._versions[version - 1]
+
+    def history(self) -> list[PolicyVersion]:
+        return list(self._versions)
+
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    def on_publish(self, listener: Callable[[PolicyVersion], None]) -> None:
+        """Subscribe to future publications (Analyser, monitors)."""
+        self._listeners.append(listener)

@@ -1,0 +1,36 @@
+"""Formally-grounded policy analysis (the paper's reference [8] substitute).
+
+The DRAMS Analyser must check, *independently of the PDP*, whether an
+observed access decision is the one the policies in force actually entail.
+We provide:
+
+- :mod:`repro.analysis.semantics` — a denotational evaluator over policy
+  *documents* (the serialized JSON form), written independently of the
+  object-model evaluator in :mod:`repro.xacml`.  Differential tests keep
+  the two in agreement; the Analyser uses this one as its oracle.
+- :mod:`repro.analysis.properties` — finite-domain policy verification:
+  completeness, rule-conflict detection and change-impact analysis by
+  exhaustive (or sampled) model enumeration over declared attribute
+  domains.
+"""
+
+from repro.analysis.semantics import DecisionOracle, evaluate_document
+from repro.analysis.properties import (
+    AttributeDomain,
+    enumerate_requests,
+    check_completeness,
+    find_conflicts,
+    change_impact,
+    PropertyReport,
+)
+
+__all__ = [
+    "DecisionOracle",
+    "evaluate_document",
+    "AttributeDomain",
+    "enumerate_requests",
+    "check_completeness",
+    "find_conflicts",
+    "change_impact",
+    "PropertyReport",
+]

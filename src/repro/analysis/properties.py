@@ -1,0 +1,208 @@
+"""Finite-domain policy verification.
+
+The FACPL line of work the paper cites supports static policy analysis:
+completeness (no request falls through), conflict detection (no two rules
+pull in opposite directions on the same request) and change-impact between
+policy versions.  We realise those checks by explicit model enumeration
+over declared finite attribute domains — exact on the declared space, and
+sampling-based beyond a configurable size budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import ValidationError
+from repro.common.rng import SeededRng
+from repro.analysis.semantics import (
+    DENY,
+    PERMIT,
+    _eval_rule,
+    _eval_target,
+    _F,
+    evaluate_document,
+)
+
+
+@dataclass
+class AttributeDomain:
+    """Finite candidate values per (category, attribute).
+
+    >>> domain = AttributeDomain()
+    >>> domain.declare("subject", "role", ["doctor", "nurse", "admin"])
+    >>> domain.declare("action", "action-id", ["read", "write"])
+    """
+
+    attributes: dict[tuple[str, str], list] = field(default_factory=dict)
+
+    def declare(self, category: str, attribute_id: str, values: list) -> "AttributeDomain":
+        if not values:
+            raise ValidationError(f"domain for {attribute_id!r} must be non-empty")
+        self.attributes[(category, attribute_id)] = list(values)
+        return self
+
+    def size(self) -> int:
+        total = 1
+        for values in self.attributes.values():
+            total *= len(values)
+        return total
+
+    def keys(self) -> list[tuple[str, str]]:
+        return sorted(self.attributes)
+
+
+def enumerate_requests(domain: AttributeDomain) -> Iterator[dict]:
+    """Yield every single-valued request over the declared domain."""
+    keys = domain.keys()
+    value_lists = [domain.attributes[key] for key in keys]
+    for combo in itertools.product(*value_lists):
+        request: dict = {}
+        for (category, attribute_id), value in zip(keys, combo):
+            request.setdefault(category, {})[attribute_id] = [value]
+        yield request
+
+
+def sample_requests(domain: AttributeDomain, count: int, rng: SeededRng) -> Iterator[dict]:
+    """Yield ``count`` random single-valued requests over the domain."""
+    keys = domain.keys()
+    for _ in range(count):
+        request: dict = {}
+        for category, attribute_id in keys:
+            value = rng.choice(domain.attributes[(category, attribute_id)])
+            request.setdefault(category, {})[attribute_id] = [value]
+        yield request
+
+
+@dataclass
+class PropertyReport:
+    """Result of a property check: verdict plus counterexamples."""
+
+    property_name: str
+    holds: bool
+    checked: int
+    counterexamples: list[dict] = field(default_factory=list)
+    exhaustive: bool = True
+
+    def summary(self) -> str:
+        verdict = "HOLDS" if self.holds else f"FAILS ({len(self.counterexamples)} cex)"
+        mode = "exhaustive" if self.exhaustive else "sampled"
+        return f"{self.property_name}: {verdict} over {self.checked} requests ({mode})"
+
+
+def _requests_for(domain: AttributeDomain, max_exhaustive: int,
+                  sample_size: int, seed: int) -> tuple[Iterator[dict], bool]:
+    if domain.size() <= max_exhaustive:
+        return enumerate_requests(domain), True
+    rng = SeededRng(seed, "property-sampling")
+    return sample_requests(domain, sample_size, rng), False
+
+
+def check_completeness(document: dict, domain: AttributeDomain,
+                       max_exhaustive: int = 100_000, sample_size: int = 20_000,
+                       seed: int = 7, max_counterexamples: int = 10) -> PropertyReport:
+    """Does every request in the domain get a Permit or Deny?
+
+    NotApplicable or Indeterminate outcomes are counterexamples — they mean
+    the policy leaves the access undefined, which in a federation deployment
+    falls back to PEP-local bias (a classic misconfiguration source).
+    """
+    requests, exhaustive = _requests_for(domain, max_exhaustive, sample_size, seed)
+    counterexamples = []
+    checked = 0
+    for request in requests:
+        checked += 1
+        decision = evaluate_document(document, request)
+        if decision not in (PERMIT, DENY):
+            if len(counterexamples) < max_counterexamples:
+                counterexamples.append({"request": request, "decision": decision})
+    return PropertyReport(
+        property_name="completeness",
+        holds=not counterexamples,
+        checked=checked,
+        counterexamples=counterexamples,
+        exhaustive=exhaustive,
+    )
+
+
+def find_conflicts(document: dict, domain: AttributeDomain,
+                   max_exhaustive: int = 100_000, sample_size: int = 20_000,
+                   seed: int = 7, max_counterexamples: int = 10) -> PropertyReport:
+    """Find requests where rules with opposite effects both apply.
+
+    Conflicts are not bugs per se — combining algorithms resolve them — but
+    each conflict is a spot where the choice of algorithm, not the rule
+    author's intent, decides the outcome.  Only leaf policies are scanned.
+    """
+    policies = _leaf_policies(document)
+    requests, exhaustive = _requests_for(domain, max_exhaustive, sample_size, seed)
+    counterexamples = []
+    checked = 0
+    for request in requests:
+        checked += 1
+        for policy in policies:
+            if _eval_target(policy.get("target"), request) == _F:
+                continue
+            fired = {PERMIT: [], DENY: []}
+            for rule in policy["rules"]:
+                outcome = _eval_rule(rule, request)
+                if outcome in (PERMIT, DENY):
+                    fired[outcome].append(rule["rule_id"])
+            if fired[PERMIT] and fired[DENY]:
+                if len(counterexamples) < max_counterexamples:
+                    counterexamples.append({
+                        "request": request,
+                        "policy_id": policy["policy_id"],
+                        "permit_rules": fired[PERMIT],
+                        "deny_rules": fired[DENY],
+                    })
+    return PropertyReport(
+        property_name="rule-conflicts",
+        holds=not counterexamples,
+        checked=checked,
+        counterexamples=counterexamples,
+        exhaustive=exhaustive,
+    )
+
+
+def change_impact(old_document: dict, new_document: dict, domain: AttributeDomain,
+                  max_exhaustive: int = 100_000, sample_size: int = 20_000,
+                  seed: int = 7, max_counterexamples: int = 25) -> PropertyReport:
+    """Requests on which two policy versions decide differently.
+
+    The DRAMS Analyser runs this when the PAP publishes a policy update, to
+    report exactly which accesses change behaviour.
+    """
+    requests, exhaustive = _requests_for(domain, max_exhaustive, sample_size, seed)
+    counterexamples = []
+    checked = 0
+    for request in requests:
+        checked += 1
+        old_decision = evaluate_document(old_document, request)
+        new_decision = evaluate_document(new_document, request)
+        if old_decision != new_decision:
+            if len(counterexamples) < max_counterexamples:
+                counterexamples.append({
+                    "request": request,
+                    "old": old_decision,
+                    "new": new_decision,
+                })
+    return PropertyReport(
+        property_name="change-impact",
+        holds=not counterexamples,
+        checked=checked,
+        counterexamples=counterexamples,
+        exhaustive=exhaustive,
+    )
+
+
+def _leaf_policies(document: dict) -> list[dict]:
+    if document.get("kind") == "policy":
+        return [document]
+    if document.get("kind") == "policy_set":
+        leaves: list[dict] = []
+        for child in document.get("children", []):
+            leaves.extend(_leaf_policies(child))
+        return leaves
+    raise ValidationError(f"unknown policy kind: {document.get('kind')!r}")

@@ -1,0 +1,21 @@
+"""Baseline monitors for comparison experiments.
+
+:class:`CentralizedMonitor` implements the *same* four-point matching and
+decision-correctness checks as DRAMS, but over a single log collector with
+a classical database in the infrastructure tenant — no blockchain, no
+replication.  Functionally it detects the same component attacks; the
+difference the paper argues for is *resilience*: compromising the one
+collector host silences the baseline entirely (and destroys the evidence),
+whereas DRAMS keeps detecting as long as the chain's integrity holds.
+Experiment E6 quantifies exactly that gap.
+"""
+
+from repro.baselines.central import (
+    CentralizedMonitor,
+    attach_centralized_monitoring,
+)
+
+__all__ = [
+    "CentralizedMonitor",
+    "attach_centralized_monitoring",
+]

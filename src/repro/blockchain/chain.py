@@ -1,0 +1,378 @@
+"""Block store, validation, fork choice and state replay.
+
+Fork choice is by *total work* (sum of ``2**difficulty_bits`` over the
+branch), ties broken by lowest tip hash, so all honest nodes converge on the
+same head given the same block set.
+
+Contract state is maintained incrementally while blocks extend the current
+head; a reorganisation resets the engine and replays the winning branch from
+genesis (chains in DRAMS experiments are short enough that simplicity wins
+over snapshot bookkeeping).  Contract events emitted by newly applied blocks
+are pushed to subscribers — this is how security alerts produced by the
+monitor contract reach the Logging Interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import SigningKey, VerifyingKey
+from repro.blockchain.block import Block, BlockHeader, make_genesis
+from repro.blockchain.config import BlockchainConfig
+from repro.blockchain.contracts import (
+    ContractContext,
+    ContractEngine,
+    ContractEvent,
+    ContractRegistry,
+    ExecutionReceipt,
+)
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.pow import grind_nonce, meets_target, retarget
+from repro.blockchain.transaction import Transaction
+
+EventSubscriber = Callable[[ContractEvent, str], None]
+KeyLookup = Callable[[str], Optional[VerifyingKey]]
+
+
+class ChainValidationError(ValidationError):
+    """A block failed consensus validation."""
+
+
+@dataclass
+class TxLocation:
+    """Where a transaction landed on the main chain."""
+
+    block_hash: str
+    height: int
+    receipt: ExecutionReceipt
+
+
+@dataclass
+class _Snapshot:
+    """Chain state checkpoint taken at a specific applied block."""
+
+    height: int
+    engine_state: dict
+    sender_seqs: dict[str, set[int]]
+    tx_locations: dict[str, TxLocation]
+
+
+class Blockchain:
+    """A node's view of the chain plus replicated contract state.
+
+    ``key_lookup`` resolves a sender/miner id to its verifying key; when it
+    returns None for a sender, signature validation fails closed (unknown
+    senders are rejected) unless ``require_signatures`` is False (some unit
+    tests exercise consensus without the key registry).
+    """
+
+    SNAPSHOT_INTERVAL = 25
+
+    def __init__(self, config: BlockchainConfig, registry: ContractRegistry,
+                 key_lookup: Optional[KeyLookup] = None,
+                 require_signatures: bool = True) -> None:
+        self.config = config
+        self.registry = registry
+        self.key_lookup = key_lookup
+        self.require_signatures = require_signatures and key_lookup is not None
+        self.engine = ContractEngine(registry)
+        self.genesis = make_genesis(config.chain_id, hash_value(config.to_dict()),
+                                    config.difficulty_bits)
+        self._blocks: dict[str, Block] = {self.genesis.hash: self.genesis}
+        self._total_work: dict[str, float] = {self.genesis.hash: 0.0}
+        self._head_hash: str = self.genesis.hash
+        self._applied_branch: list[str] = [self.genesis.hash]
+        self._tx_locations: dict[str, TxLocation] = {}
+        self._sender_seqs: dict[str, set[int]] = {}
+        self._subscribers: list[EventSubscriber] = []
+        self._difficulty_cache: dict[str, float] = {self.genesis.hash: config.difficulty_bits}
+        self._snapshots: dict[str, _Snapshot] = {}
+        self._orphaned_txs: dict[str, Transaction] = {}
+        self.reorgs = 0
+        self.rejected_blocks = 0
+        self._take_snapshot(self.genesis.hash, 0)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[self._head_hash]
+
+    @property
+    def height(self) -> int:
+        return self.head.height
+
+    def get_block(self, block_hash: str) -> Optional[Block]:
+        return self._blocks.get(block_hash)
+
+    def has_block(self, block_hash: str) -> bool:
+        return block_hash in self._blocks
+
+    def main_chain(self) -> list[Block]:
+        """Genesis-to-head block list."""
+        return [self._blocks[h] for h in self._applied_branch]
+
+    def total_work(self, block_hash: str) -> float:
+        return self._total_work[block_hash]
+
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    def tx_location(self, tx_id: str) -> Optional[TxLocation]:
+        """Main-chain location of a transaction, if included."""
+        return self._tx_locations.get(tx_id)
+
+    def confirmations(self, tx_id: str) -> int:
+        """Blocks on top of (and including) the tx's block; 0 if unconfirmed."""
+        location = self._tx_locations.get(tx_id)
+        if location is None:
+            return 0
+        return self.height - location.height + 1
+
+    def is_final(self, tx_id: str) -> bool:
+        return self.confirmations(tx_id) >= self.config.confirmations
+
+    def subscribe_events(self, subscriber: EventSubscriber) -> None:
+        """Receive contract events as their blocks are applied to the head."""
+        self._subscribers.append(subscriber)
+
+    # -- difficulty schedule -------------------------------------------------
+
+    def expected_difficulty(self, parent_hash: str) -> float:
+        """Difficulty required of the block extending ``parent_hash``.
+
+        Retargets every ``retarget_window`` blocks using the mean block
+        interval across the previous window on that branch.
+        """
+        parent = self._blocks.get(parent_hash)
+        if parent is None:
+            raise ChainValidationError(f"unknown parent: {parent_hash}")
+        window = self.config.retarget_window
+        parent_difficulty = self._difficulty_cache.get(parent_hash,
+                                                       parent.header.difficulty_bits)
+        next_height = parent.height + 1
+        if window == 0 or next_height % window != 0 or next_height < window:
+            return parent_difficulty
+        # Walk back `window` blocks on this branch to measure elapsed time.
+        cursor = parent
+        for _ in range(window - 1):
+            cursor = self._blocks[cursor.header.prev_hash]
+        elapsed = parent.header.timestamp - cursor.header.timestamp
+        actual_interval = elapsed / max(1, window - 1)
+        return retarget(parent_difficulty, actual_interval,
+                        self.config.target_block_interval)
+
+    # -- validation ----------------------------------------------------------
+
+    def _validate_block(self, block: Block) -> None:
+        header = block.header
+        parent = self._blocks.get(header.prev_hash)
+        if parent is None:
+            raise ChainValidationError(f"unknown parent {header.prev_hash[:12]}")
+        if header.height != parent.height + 1:
+            raise ChainValidationError(
+                f"height {header.height} does not extend parent height {parent.height}")
+        if header.timestamp < parent.header.timestamp:
+            raise ChainValidationError("timestamp decreases along the chain")
+        if block.compute_merkle_root() != header.merkle_root:
+            raise ChainValidationError("merkle root does not match block body")
+        if len(block.transactions) > self.config.max_block_txs:
+            raise ChainValidationError("too many transactions in block")
+        if block.body_size_bytes() > self.config.max_block_bytes:
+            raise ChainValidationError("block body exceeds size limit")
+        expected_bits = self.expected_difficulty(header.prev_hash)
+        if abs(header.difficulty_bits - expected_bits) > 1e-9:
+            raise ChainValidationError(
+                f"difficulty {header.difficulty_bits} != expected {expected_bits}")
+        if self.config.pow_mode == "real" and not meets_target(block.hash,
+                                                               header.difficulty_bits):
+            raise ChainValidationError("block hash does not meet the PoW target")
+        seen_tx_ids: set[str] = set()
+        for tx in block.transactions:
+            if tx.tx_id in seen_tx_ids:
+                raise ChainValidationError(f"duplicate tx in block: {tx.tx_id}")
+            seen_tx_ids.add(tx.tx_id)
+            self._validate_tx_signature(tx)
+        if self.require_signatures:
+            miner_key = self.key_lookup(header.miner) if self.key_lookup else None
+            if miner_key is None or not block.verify_miner_signature(miner_key):
+                raise ChainValidationError(f"bad miner signature from {header.miner}")
+
+    def _validate_tx_signature(self, tx: Transaction) -> None:
+        if not self.require_signatures:
+            return
+        key = self.key_lookup(tx.sender) if self.key_lookup else None
+        if key is None:
+            raise ChainValidationError(f"unknown transaction sender {tx.sender!r}")
+        if not tx.verify(key):
+            raise ChainValidationError(f"invalid signature on tx {tx.tx_id}")
+
+    def validate_transaction(self, tx: Transaction) -> bool:
+        """Admission check used by mempools (signature + not already final)."""
+        if tx.tx_id in self._tx_locations:
+            return False
+        try:
+            self._validate_tx_signature(tx)
+        except ChainValidationError:
+            return False
+        return True
+
+    # -- insertion & fork choice ----------------------------------------------
+
+    def add_block(self, block: Block) -> bool:
+        """Validate and insert; returns True if the head advanced or moved."""
+        if block.hash in self._blocks:
+            return False
+        try:
+            self._validate_block(block)
+        except ChainValidationError:
+            self.rejected_blocks += 1
+            raise
+        self._blocks[block.hash] = block
+        self._difficulty_cache[block.hash] = block.header.difficulty_bits
+        parent_work = self._total_work[block.header.prev_hash]
+        self._total_work[block.hash] = parent_work + 2.0 ** block.header.difficulty_bits
+        return self._maybe_update_head(block)
+
+    def _maybe_update_head(self, candidate: Block) -> bool:
+        current_work = self._total_work[self._head_hash]
+        new_work = self._total_work[candidate.hash]
+        if new_work < current_work:
+            return False
+        if new_work == current_work and candidate.hash >= self._head_hash:
+            return False
+        self._switch_head(candidate.hash)
+        return True
+
+    def _branch_of(self, tip_hash: str) -> list[str]:
+        branch = []
+        cursor = tip_hash
+        while cursor != self.genesis.hash:
+            branch.append(cursor)
+            cursor = self._blocks[cursor].header.prev_hash
+        branch.append(self.genesis.hash)
+        branch.reverse()
+        return branch
+
+    def _take_snapshot(self, block_hash: str, height: int) -> None:
+        self._snapshots[block_hash] = _Snapshot(
+            height=height,
+            engine_state=self.engine.dump_state(),
+            sender_seqs={k: set(v) for k, v in self._sender_seqs.items()},
+            tx_locations=dict(self._tx_locations),
+        )
+        # Bound memory: keep the deepest few snapshots plus genesis.
+        if len(self._snapshots) > 12:
+            removable = sorted(
+                (h for h in self._snapshots if h != self.genesis.hash),
+                key=lambda h: self._snapshots[h].height)
+            del self._snapshots[removable[0]]
+
+    def _switch_head(self, new_head: str) -> None:
+        new_branch = self._branch_of(new_head)
+        if (len(new_branch) > len(self._applied_branch)
+                and new_branch[:len(self._applied_branch)] == self._applied_branch):
+            # Fast path: the new head simply extends the current head.
+            for block_hash in new_branch[len(self._applied_branch):]:
+                self._apply_block(self._blocks[block_hash])
+            self._applied_branch = new_branch
+        else:
+            # Reorg: restore the deepest snapshot still on the winning branch
+            # and replay from there (genesis always has a snapshot).
+            self.reorgs += 1
+            old_branch = list(self._applied_branch)
+            restore_index = 0
+            for index in range(len(new_branch) - 1, -1, -1):
+                if new_branch[index] in self._snapshots:
+                    restore_index = index
+                    break
+            snapshot = self._snapshots[new_branch[restore_index]]
+            self.engine.load_state(snapshot.engine_state)
+            self._sender_seqs = {k: set(v) for k, v in snapshot.sender_seqs.items()}
+            self._tx_locations = dict(snapshot.tx_locations)
+            for block_hash in new_branch[restore_index + 1:]:
+                self._apply_block(self._blocks[block_hash])
+            self._applied_branch = new_branch
+            # Transactions confirmed on the losing branch but absent from
+            # the winning one must go back to the mempool, or their log
+            # entries would be silently lost (the node drains
+            # take_orphaned_txs after every head change).
+            new_set = set(new_branch)
+            for block_hash in old_branch:
+                if block_hash in new_set:
+                    continue
+                for tx in self._blocks[block_hash].transactions:
+                    if tx.tx_id not in self._tx_locations:
+                        self._orphaned_txs[tx.tx_id] = tx
+        self._head_hash = new_head
+
+    def take_orphaned_txs(self) -> list[Transaction]:
+        """Drain transactions displaced by reorgs (for mempool re-injection)."""
+        orphans = [tx for tx_id, tx in self._orphaned_txs.items()
+                   if tx_id not in self._tx_locations]
+        self._orphaned_txs.clear()
+        return orphans
+
+    def _apply_block(self, block: Block) -> None:
+        if block.height > 0 and block.height % self.SNAPSHOT_INTERVAL == 0:
+            self._take_snapshot(block.header.prev_hash, block.height - 1)
+        for tx in block.transactions:
+            used = self._sender_seqs.setdefault(tx.sender, set())
+            if tx.seq in used:
+                # Replay within the branch: skip rather than poison the block
+                # (mirrors nonce-too-low handling in production chains).
+                continue
+            used.add(tx.seq)
+            ctx = ContractContext(
+                block_height=block.height,
+                block_timestamp=block.header.timestamp,
+                sender=tx.sender,
+                tx_id=tx.tx_id,
+            )
+            receipt = self.engine.execute(tx.contract, tx.method, tx.args, ctx)
+            self._tx_locations[tx.tx_id] = TxLocation(
+                block_hash=block.hash, height=block.height, receipt=receipt)
+            for event in receipt.events:
+                for subscriber in self._subscribers:
+                    subscriber(event, block.hash)
+
+    # -- block production -----------------------------------------------------
+
+    def create_block(self, miner: str, transactions: list[Transaction],
+                     timestamp: float, signing_key: Optional[SigningKey] = None,
+                     max_grind_attempts: Optional[int] = None) -> Block:
+        """Assemble (and in real mode, mine) a block extending the head."""
+        parent = self.head
+        difficulty = self.expected_difficulty(parent.hash)
+        header = BlockHeader(
+            height=parent.height + 1,
+            prev_hash=parent.hash,
+            merkle_root="",
+            timestamp=max(timestamp, parent.header.timestamp),
+            difficulty_bits=difficulty,
+            miner=miner,
+        )
+        block = Block(header=header, transactions=list(transactions))
+        header.merkle_root = block.compute_merkle_root()
+        if self.config.pow_mode == "real":
+            found = grind_nonce(header.bytes_for_nonce, difficulty,
+                                max_attempts=max_grind_attempts)
+            if found is None:
+                raise ChainValidationError("mining attempt budget exhausted")
+            header.nonce = found[0]
+        if signing_key is not None:
+            block.sign(signing_key)
+        return block
+
+    def collect_block_txs(self, mempool: Mempool) -> list[Transaction]:
+        """Pick mempool transactions eligible for the next block."""
+        candidates = mempool.peek(self.config.max_block_txs, self.config.max_block_bytes,
+                                  exclude=set(self._tx_locations))
+        return [tx for tx in candidates if self.validate_transaction(tx)]
+
+    def state_of(self, contract_name: str) -> dict[str, Any]:
+        """Current main-chain state of a contract."""
+        return self.engine.state_of(contract_name)

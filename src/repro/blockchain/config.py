@@ -1,0 +1,76 @@
+"""Chain-wide configuration.
+
+A private federation chain lets operators pick every consensus parameter —
+the paper's Discussion leans on exactly this ("all PoW parameters can be
+dynamically tuned according to the needs").  The config is hashed into the
+genesis block so all nodes provably run the same parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BlockchainConfig:
+    """Consensus and block-production parameters.
+
+    Attributes:
+        chain_id: Name binding a chain instance (goes into genesis).
+        difficulty_bits: Initial PoW difficulty; a valid block hash must be
+            below ``2**(256 - difficulty_bits)``.  May be fractional after
+            retargeting.
+        target_block_interval: Desired seconds between blocks; the
+            retargeting rule steers difficulty toward this.
+        retarget_window: Number of blocks between difficulty adjustments
+            (0 disables retargeting).
+        max_block_txs: Cap on transactions per block.
+        max_block_bytes: Cap on the serialized size of a block body.
+        pow_mode: ``"real"`` grinds SHA-256 nonces; ``"simulated"`` skips
+            grinding and relies on statistically-timed block production in
+            the simulator (identical chain semantics, cheap large sweeps).
+        confirmations: Depth at which a transaction is considered final by
+            clients (the integrity experiments sweep this).
+    """
+
+    chain_id: str = "drams-chain"
+    difficulty_bits: float = 12.0
+    target_block_interval: float = 2.0
+    retarget_window: int = 16
+    max_block_txs: int = 200
+    max_block_bytes: int = 512 * 1024
+    pow_mode: str = "simulated"
+    confirmations: int = 3
+
+    def __post_init__(self) -> None:
+        # Coerce numerics so int-valued configs hash identically to floats.
+        object.__setattr__(self, "difficulty_bits", float(self.difficulty_bits))
+        object.__setattr__(self, "target_block_interval", float(self.target_block_interval))
+        if not 0 < self.difficulty_bits < 200:
+            raise ConfigError(f"difficulty_bits out of range: {self.difficulty_bits}")
+        if self.target_block_interval <= 0:
+            raise ConfigError("target_block_interval must be positive")
+        if self.retarget_window < 0:
+            raise ConfigError("retarget_window must be >= 0")
+        if self.max_block_txs <= 0:
+            raise ConfigError("max_block_txs must be positive")
+        if self.max_block_bytes <= 0:
+            raise ConfigError("max_block_bytes must be positive")
+        if self.pow_mode not in ("real", "simulated"):
+            raise ConfigError(f"pow_mode must be 'real' or 'simulated', got {self.pow_mode!r}")
+        if self.confirmations < 1:
+            raise ConfigError("confirmations must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "chain_id": self.chain_id,
+            "difficulty_bits": self.difficulty_bits,
+            "target_block_interval": self.target_block_interval,
+            "retarget_window": self.retarget_window,
+            "max_block_txs": self.max_block_txs,
+            "max_block_bytes": self.max_block_bytes,
+            "pow_mode": self.pow_mode,
+            "confirmations": self.confirmations,
+        }

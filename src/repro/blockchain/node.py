@@ -1,0 +1,202 @@
+"""Gossiping miner/validator node on the simulated network.
+
+Each federation tenant runs a node.  Nodes flood transactions and blocks to
+their peers, maintain their own :class:`~repro.blockchain.chain.Blockchain`
+replica, and produce blocks.
+
+Block production follows the standard memoryless PoW model: with hashrate
+``H`` (hashes/second) and difficulty ``d`` bits, the time to the node's next
+valid block is exponential with rate ``H / expected_hashes(d)``.  Whenever
+the head changes, the draw is restarted (the node now mines on the new
+head).  In ``real`` PoW mode the winning block is additionally ground to a
+genuine nonce so validation can check the hash; in ``simulated`` mode the
+chain semantics are identical but the hash check is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.rng import SeededRng
+from repro.crypto.signatures import SigningKey
+from repro.simnet.network import Host, Message, Network
+from repro.simnet.simulator import Event
+from repro.blockchain.block import Block
+from repro.blockchain.chain import Blockchain, ChainValidationError, KeyLookup
+from repro.blockchain.config import BlockchainConfig
+from repro.blockchain.contracts import ContractRegistry
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.pow import expected_hashes
+from repro.blockchain.transaction import Transaction
+
+HeadListener = Callable[[Block], None]
+
+
+class BlockchainNode(Host):
+    """A mining/validating peer."""
+
+    def __init__(self, network: Network, address: str, config: BlockchainConfig,
+                 registry: ContractRegistry, rng: SeededRng,
+                 key_lookup: Optional[KeyLookup] = None,
+                 signing_key: Optional[SigningKey] = None,
+                 hashrate: float = 1e6, mine: bool = True) -> None:
+        super().__init__(network, address)
+        self.chain = Blockchain(config, registry, key_lookup=key_lookup,
+                                require_signatures=key_lookup is not None)
+        self.mempool = Mempool()
+        self.rng = rng.fork(f"node/{address}")
+        self.signing_key = signing_key
+        self.hashrate = hashrate
+        self.mining_enabled = mine
+        self.peers: list[str] = []
+        self.blocks_mined = 0
+        self.invalid_blocks_seen = 0
+        self._seen_txs: set[str] = set()
+        self._seen_blocks: set[str] = {self.chain.genesis.hash}
+        self._requested_parents: set[str] = set()
+        self._orphans: dict[str, Block] = {}
+        self._mine_event: Optional[Event] = None
+        self._head_listeners: list[HeadListener] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def connect(self, peer_addresses: list[str]) -> None:
+        """Set this node's gossip peers (excluding itself)."""
+        self.peers = [p for p in peer_addresses if p != self.address]
+
+    def on_head_change(self, listener: HeadListener) -> None:
+        """Call ``listener(head_block)`` whenever the main-chain head moves."""
+        self._head_listeners.append(listener)
+
+    def start(self) -> None:
+        """Begin mining (call after the network/peers are wired up)."""
+        if self.mining_enabled:
+            self._reschedule_mining()
+
+    def stop(self) -> None:
+        if self._mine_event is not None:
+            self._mine_event.cancel()
+            self._mine_event = None
+
+    # -- client API ----------------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> bool:
+        """Local submission endpoint used by the Logging Interface."""
+        if tx.tx_id in self._seen_txs:
+            return False
+        self._seen_txs.add(tx.tx_id)
+        if not self.chain.validate_transaction(tx):
+            return False
+        tx.submitted_at = self.sim.now
+        accepted = self.mempool.add(tx)
+        if accepted:
+            self._gossip("bc_tx", tx.to_dict())
+        return accepted
+
+    # -- gossip ----------------------------------------------------------------
+
+    def _gossip(self, kind: str, payload: dict, exclude: Optional[str] = None) -> None:
+        for peer in self.peers:
+            if peer == exclude:
+                continue
+            self.send(peer, kind, payload)
+
+    def receive(self, message: Message) -> None:
+        if message.kind == "bc_tx":
+            self._handle_tx(message)
+        elif message.kind == "bc_block":
+            self._handle_block(message)
+        elif message.kind == "bc_block_request":
+            self._handle_block_request(message)
+
+    def _handle_tx(self, message: Message) -> None:
+        tx = Transaction.from_dict(message.payload)
+        if tx.tx_id in self._seen_txs:
+            return
+        self._seen_txs.add(tx.tx_id)
+        if not self.chain.validate_transaction(tx):
+            return
+        if self.mempool.add(tx):
+            self._gossip("bc_tx", message.payload, exclude=message.src)
+
+    def _handle_block(self, message: Message) -> None:
+        block = Block.from_dict(message.payload)
+        if block.hash in self._seen_blocks:
+            return
+        self._seen_blocks.add(block.hash)
+        if not self.chain.has_block(block.header.prev_hash):
+            # Orphan: park it and ask the sender for the missing parent
+            # (deduplicated so concurrent gossip does not storm requests).
+            self._orphans[block.header.prev_hash] = block
+            self._seen_blocks.discard(block.hash)
+            if block.header.prev_hash not in self._requested_parents:
+                self._requested_parents.add(block.header.prev_hash)
+                self.send(message.src, "bc_block_request",
+                          {"hash": block.header.prev_hash})
+            return
+        self._accept_block(block, relay_exclude=message.src)
+
+    def _handle_block_request(self, message: Message) -> None:
+        block = self.chain.get_block(message.payload.get("hash", ""))
+        if block is None:
+            return
+        self.send(message.src, "bc_block", block.to_dict())
+
+    def _accept_block(self, block: Block, relay_exclude: Optional[str] = None) -> None:
+        old_head = self.chain.head.hash
+        self._requested_parents.discard(block.hash)
+        try:
+            self.chain.add_block(block)
+        except ChainValidationError:
+            self.invalid_blocks_seen += 1
+            return
+        self.mempool.remove_all(tx.tx_id for tx in block.transactions)
+        self._gossip("bc_block", block.to_dict(), exclude=relay_exclude)
+        # Reconnect any orphan waiting on this block.
+        child = self._orphans.pop(block.hash, None)
+        if child is not None and child.hash not in self._seen_blocks:
+            self._seen_blocks.add(child.hash)
+            self._accept_block(child)
+        if self.chain.head.hash != old_head:
+            # Re-inject transactions that a reorg displaced from the chain;
+            # without this, logs confirmed on a losing fork vanish.
+            for orphan in self.chain.take_orphaned_txs():
+                if self.chain.validate_transaction(orphan):
+                    self.mempool.add(orphan)
+            for listener in self._head_listeners:
+                listener(self.chain.head)
+            if self.mining_enabled:
+                self._reschedule_mining()
+
+    # -- mining -----------------------------------------------------------------
+
+    def _mining_rate(self) -> float:
+        difficulty = self.chain.expected_difficulty(self.chain.head.hash)
+        return self.hashrate / expected_hashes(difficulty)
+
+    def _reschedule_mining(self) -> None:
+        if self._mine_event is not None:
+            self._mine_event.cancel()
+        rate = self._mining_rate()
+        if rate <= 0:
+            return
+        delay = self.rng.expovariate(rate)
+        self._mine_event = self.sim.schedule(delay, self._mine_block,
+                                             label=f"mine:{self.address}")
+
+    def _mine_block(self) -> None:
+        self._mine_event = None
+        txs = self.chain.collect_block_txs(self.mempool)
+        block = self.chain.create_block(
+            miner=self.address,
+            transactions=txs,
+            timestamp=self.sim.now,
+            signing_key=self.signing_key,
+        )
+        self.blocks_mined += 1
+        self._seen_blocks.add(block.hash)
+        self._accept_block(block)
+        # _accept_block reschedules on head change; if our own block somehow
+        # lost fork choice, keep mining regardless.
+        if self.mining_enabled and self._mine_event is None:
+            self._reschedule_mining()

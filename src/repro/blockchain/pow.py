@@ -1,0 +1,90 @@
+"""Proof-of-work: targets, grinding, difficulty retargeting.
+
+Difficulty is expressed in *bits*: a block hash (as a 256-bit integer) must
+be strictly below ``2**(256 - bits)``.  Fractional bits arise naturally from
+retargeting and simply shift the threshold.
+
+Two production modes share these primitives:
+
+- **real**: :func:`grind_nonce` iterates nonces until the header hash meets
+  the target — actual SHA-256 work, used to validate that the statistical
+  model matches reality (experiment E3);
+- **simulated**: block discovery times are drawn from the exponential
+  distribution with rate ``hashrate / expected_hashes(bits)`` — the standard
+  memoryless model of PoW — letting experiments sweep difficulties far
+  beyond what Python could grind.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.crypto.hashing import sha256_hex
+
+MAX_TARGET = 1 << 256
+
+
+def target_for_bits(difficulty_bits: float) -> int:
+    """Integer threshold a valid block hash must be below."""
+    if difficulty_bits <= 0:
+        return MAX_TARGET
+    # 2^(256 - bits); computed via float exponent only for the fractional
+    # part so large difficulties stay exact.
+    whole = int(difficulty_bits)
+    frac = difficulty_bits - whole
+    target = MAX_TARGET >> whole
+    if frac:
+        target = int(target / (2.0 ** frac))
+    return max(target, 1)
+
+
+def meets_target(block_hash_hex: str, difficulty_bits: float) -> bool:
+    """Does the hex hash satisfy the difficulty threshold?"""
+    return int(block_hash_hex, 16) < target_for_bits(difficulty_bits)
+
+
+def expected_hashes(difficulty_bits: float) -> float:
+    """Mean number of hash evaluations to find a valid nonce."""
+    return float(MAX_TARGET) / float(target_for_bits(difficulty_bits))
+
+
+def grind_nonce(header_bytes_for_nonce: Callable[[int], bytes],
+                difficulty_bits: float,
+                max_attempts: Optional[int] = None,
+                start_nonce: int = 0) -> Optional[tuple[int, str, int]]:
+    """Search nonces until the header hash meets the target.
+
+    ``header_bytes_for_nonce`` renders the header with a candidate nonce.
+    Returns ``(nonce, hash_hex, attempts)`` or ``None`` if ``max_attempts``
+    was exhausted.
+    """
+    target = target_for_bits(difficulty_bits)
+    nonce = start_nonce
+    attempts = 0
+    while max_attempts is None or attempts < max_attempts:
+        digest = sha256_hex(header_bytes_for_nonce(nonce))
+        attempts += 1
+        if int(digest, 16) < target:
+            return nonce, digest, attempts
+        nonce += 1
+    return None
+
+
+def retarget(difficulty_bits: float, actual_interval: float,
+             target_interval: float, *, max_step: float = 2.0,
+             floor_bits: float = 1.0, ceil_bits: float = 64.0) -> float:
+    """Adjust difficulty so block intervals drift toward the target.
+
+    ``actual_interval`` is the mean observed interval across the retarget
+    window.  The adjustment is clamped to a factor of ``max_step`` per
+    retarget (as Bitcoin clamps to 4x) to avoid oscillation; difficulty in
+    bits moves by ``log2`` of the clamped ratio.
+    """
+    import math
+
+    if actual_interval <= 0:
+        actual_interval = target_interval / max_step
+    ratio = target_interval / actual_interval
+    ratio = min(max(ratio, 1.0 / max_step), max_step)
+    new_bits = difficulty_bits + math.log2(ratio)
+    return min(max(new_bits, floor_bits), ceil_bits)

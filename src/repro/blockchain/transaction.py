@@ -1,0 +1,102 @@
+"""Signed contract-invoking transactions.
+
+A transaction is a call ``contract.method(args)`` submitted by a federation
+component (usually a Logging Interface writing a log entry).  Transactions
+are Schnorr-signed by the sender; nodes reject invalid signatures, which is
+what makes the on-chain audit trail non-repudiable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import ValidationError
+from repro.common.ids import new_id
+from repro.common.serialization import canonical_bytes
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
+
+
+@dataclass
+class Transaction:
+    """A contract invocation recorded on chain.
+
+    ``sender`` is the stable component id (e.g. ``"li-tenant-1"``); nodes
+    look its verifying key up in their registry.  ``seq`` is a per-sender
+    sequence number providing replay protection.
+    """
+
+    sender: str
+    contract: str
+    method: str
+    args: dict[str, Any]
+    seq: int
+    tx_id: str = field(default_factory=lambda: new_id("tx"))
+    submitted_at: float = 0.0
+    signature: Optional[Signature] = None
+
+    def signing_payload(self) -> bytes:
+        """The bytes covered by the signature (everything but the signature)."""
+        return canonical_bytes({
+            "sender": self.sender,
+            "contract": self.contract,
+            "method": self.method,
+            "args": self.args,
+            "seq": self.seq,
+            "tx_id": self.tx_id,
+        })
+
+    def sign(self, key: SigningKey) -> "Transaction":
+        """Sign in place and return self (builder style)."""
+        self.signature = key.sign(self.signing_payload())
+        return self
+
+    def verify(self, key: VerifyingKey) -> bool:
+        if self.signature is None:
+            return False
+        return key.verify(self.signing_payload(), self.signature)
+
+    def content_hash(self) -> str:
+        """Hash of the signed content; used as the Merkle leaf for the block body."""
+        return hash_value({
+            "sender": self.sender,
+            "contract": self.contract,
+            "method": self.method,
+            "args": self.args,
+            "seq": self.seq,
+            "tx_id": self.tx_id,
+        })
+
+    def size_bytes(self) -> int:
+        overhead = 160 if self.signature is not None else 0
+        return len(self.signing_payload()) + overhead
+
+    def to_dict(self) -> dict:
+        return {
+            "sender": self.sender,
+            "contract": self.contract,
+            "method": self.method,
+            "args": self.args,
+            "seq": self.seq,
+            "tx_id": self.tx_id,
+            "submitted_at": self.submitted_at,
+            "signature": self.signature.to_dict() if self.signature else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Transaction":
+        try:
+            signature = Signature.from_dict(data["signature"]) if data.get("signature") else None
+            return cls(
+                sender=data["sender"],
+                contract=data["contract"],
+                method=data["method"],
+                args=dict(data["args"]),
+                seq=int(data["seq"]),
+                tx_id=data["tx_id"],
+                submitted_at=float(data.get("submitted_at", 0.0)),
+                signature=signature,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed transaction: {exc}") from exc

@@ -1,0 +1,45 @@
+"""SHA-256 helpers over canonical encodings.
+
+All content hashes in the system go through :func:`hash_value` so that the
+bytes being hashed are always the canonical JSON encoding — a hash computed
+by a probe in tenant A is comparable with one computed by the smart contract
+replicated in tenant B.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+from typing import Any
+
+from repro.common.serialization import canonical_bytes
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    """Raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_value(value: Any) -> str:
+    """Hex SHA-256 of the canonical encoding of any serializable value."""
+    return sha256_hex(canonical_bytes(value))
+
+
+def hash_pair(left: str, right: str) -> str:
+    """Combine two hex digests (Merkle interior node, hash chains)."""
+    return sha256_hex(f"{left}|{right}".encode())
+
+
+def hmac_hex(key: bytes, data: bytes) -> str:
+    """Hex HMAC-SHA-256 of ``data`` under ``key``."""
+    return _hmac.new(key, data, hashlib.sha256).hexdigest()
+
+
+def constant_time_equals(a: str, b: str) -> bool:
+    """Timing-safe string comparison (MAC verification)."""
+    return _hmac.compare_digest(a, b)

@@ -1,0 +1,71 @@
+"""Key management for federation components.
+
+Each Logging Interface needs (a) the shared federation key ``K`` for log
+confidentiality and (b) its own signing key for transaction authentication.
+The :class:`KeyStore` is the software-only holder; when a
+:class:`~repro.crypto.tpm.SimulatedTpm` is present the federation key is
+*sealed* to the component's measured state instead (see the paper's
+System Integrity discussion).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import CryptoError
+from repro.crypto.signatures import SigningKey, VerifyingKey
+from repro.crypto.symmetric import SymmetricKey
+
+
+class KeyStore:
+    """Per-component key material and the federation's public-key registry."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+        self._symmetric: dict[str, SymmetricKey] = {}
+        self._signing: SigningKey | None = None
+        self._registry: dict[str, VerifyingKey] = {}
+
+    # -- symmetric keys -----------------------------------------------------
+
+    def store_symmetric(self, name: str, key: SymmetricKey) -> None:
+        self._symmetric[name] = key
+
+    def symmetric(self, name: str) -> SymmetricKey:
+        try:
+            return self._symmetric[name]
+        except KeyError:
+            raise CryptoError(f"{self.owner}: no symmetric key named {name!r}") from None
+
+    def has_symmetric(self, name: str) -> bool:
+        return name in self._symmetric
+
+    def drop_symmetric(self, name: str) -> None:
+        """Remove a key (used when a TPM refuses to unseal after tampering)."""
+        self._symmetric.pop(name, None)
+
+    # -- signing keys ----------------------------------------------------------
+
+    def install_signing_key(self, key: SigningKey) -> None:
+        self._signing = key
+
+    @property
+    def signing_key(self) -> SigningKey:
+        if self._signing is None:
+            raise CryptoError(f"{self.owner}: no signing key installed")
+        return self._signing
+
+    # -- public-key registry ------------------------------------------------------
+
+    def register_peer(self, peer_id: str, key: VerifyingKey) -> None:
+        existing = self._registry.get(peer_id)
+        if existing is not None and existing != key:
+            raise CryptoError(f"{self.owner}: conflicting key registration for {peer_id}")
+        self._registry[peer_id] = key
+
+    def peer_key(self, peer_id: str) -> VerifyingKey:
+        try:
+            return self._registry[peer_id]
+        except KeyError:
+            raise CryptoError(f"{self.owner}: unknown peer {peer_id!r}") from None
+
+    def known_peers(self) -> list[str]:
+        return sorted(self._registry)

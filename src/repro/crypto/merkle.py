@@ -1,0 +1,100 @@
+"""Merkle trees with inclusion proofs.
+
+Used in two places:
+
+- block bodies commit to their transaction list via a Merkle root, so light
+  verification of "this log entry is in block B" needs only a logarithmic
+  proof;
+- the hybrid storage backend ([9] in the paper) periodically anchors a
+  Merkle root over database rows on the chain, and its auditor checks rows
+  against anchors with these proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import hash_pair, sha256_hex
+
+_LEAF_PREFIX = "leaf|"
+_EMPTY_ROOT = sha256_hex(b"merkle-empty")
+
+
+def leaf_hash(data: str) -> str:
+    """Domain-separated leaf hash (prevents leaf/interior confusion)."""
+    return sha256_hex((_LEAF_PREFIX + data).encode())
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """Sibling path from a leaf to the root.
+
+    ``path`` entries are ``(sibling_hash, sibling_is_right)``.
+    """
+
+    leaf_index: int
+    leaf: str
+    path: tuple[tuple[str, bool], ...]
+
+    def verify(self, root: str) -> bool:
+        """Recompute the root from the leaf along the path and compare."""
+        current = leaf_hash(self.leaf)
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                current = hash_pair(current, sibling)
+            else:
+                current = hash_pair(sibling, current)
+        return current == root
+
+
+class MerkleTree:
+    """Binary Merkle tree over string items (odd levels duplicate the tail)."""
+
+    def __init__(self, items: list[str]) -> None:
+        self.items = list(items)
+        self._levels: list[list[str]] = []
+        self._build()
+
+    def _build(self) -> None:
+        if not self.items:
+            self._levels = [[_EMPTY_ROOT]]
+            return
+        level = [leaf_hash(item) for item in self.items]
+        self._levels = [level]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level = level + [level[-1]]
+                self._levels[-1] = level
+            level = [hash_pair(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+            self._levels.append(level)
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self.items):
+            raise ValidationError(f"leaf index out of range: {index}")
+        path: list[tuple[str, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_index = position + 1
+                sibling_is_right = True
+            else:
+                sibling_index = position - 1
+                sibling_is_right = False
+            sibling = level[sibling_index] if sibling_index < len(level) else level[position]
+            path.append((sibling, sibling_is_right))
+            position //= 2
+        return MerkleProof(leaf_index=index, leaf=self.items[index], path=tuple(path))
+
+    @classmethod
+    def root_of(cls, items: list[str]) -> str:
+        """Convenience: the Merkle root of ``items`` without keeping the tree."""
+        return cls(items).root

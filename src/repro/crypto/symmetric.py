@@ -1,0 +1,108 @@
+"""Authenticated symmetric encryption (encrypt-then-MAC).
+
+The Logging Interface shares a federation-wide symmetric key ``K`` and uses
+it to encrypt log payloads before they are written to the blockchain, since
+on-chain data is readable by every participant.
+
+Construction (stdlib-only, as the environment has no AES package):
+
+- key material is expanded into an *encryption key* and a *MAC key* via
+  domain-separated SHA-256;
+- the keystream is ``SHA256(enc_key || nonce || counter)`` blocks XORed over
+  the plaintext (a standard PRF-in-CTR-mode stream cipher);
+- integrity comes from HMAC-SHA-256 over ``nonce || ciphertext``
+  (encrypt-then-MAC), verified in constant time before decryption.
+
+This provides the IND-CPA + INT-CTXT interface the paper assumes of its
+symmetric layer; swapping in AES-GCM would be a one-file change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+
+_BLOCK = 32  # SHA-256 output size
+NONCE_SIZE = 16
+KEY_SIZE = 32
+
+
+@dataclass(frozen=True)
+class EncryptedBlob:
+    """Nonce, ciphertext and MAC tag; the on-chain representation of a log."""
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: str
+
+    def to_dict(self) -> dict:
+        return {"nonce": self.nonce.hex(), "ciphertext": self.ciphertext.hex(), "tag": self.tag}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EncryptedBlob":
+        try:
+            return cls(nonce=bytes.fromhex(data["nonce"]),
+                       ciphertext=bytes.fromhex(data["ciphertext"]),
+                       tag=str(data["tag"]))
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CryptoError(f"malformed encrypted blob: {exc}") from exc
+
+    def size_bytes(self) -> int:
+        return len(self.nonce) + len(self.ciphertext) + len(self.tag) // 2
+
+
+class SymmetricKey:
+    """The federation key ``K`` held by every Logging Interface."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+        self._key = key
+        self._enc_key = hashlib.sha256(b"enc|" + key).digest()
+        self._mac_key = hashlib.sha256(b"mac|" + key).digest()
+
+    @classmethod
+    def generate(cls, entropy: bytes | None = None) -> "SymmetricKey":
+        """Generate a fresh key; deterministic if ``entropy`` is supplied."""
+        if entropy is not None:
+            return cls(hashlib.sha256(b"keygen|" + entropy).digest())
+        return cls(os.urandom(KEY_SIZE))
+
+    def fingerprint(self) -> str:
+        """Public identifier of the key (safe to log)."""
+        return hashlib.sha256(b"fp|" + self._key).hexdigest()[:16]
+
+    def _keystream(self, nonce: bytes, length: int) -> bytes:
+        blocks = []
+        for counter in range((length + _BLOCK - 1) // _BLOCK):
+            blocks.append(hashlib.sha256(
+                self._enc_key + nonce + counter.to_bytes(8, "big")).digest())
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> EncryptedBlob:
+        """Encrypt and authenticate ``plaintext``.
+
+        A caller-supplied nonce must never repeat for the same key; when
+        omitted a random nonce is drawn.
+        """
+        if nonce is None:
+            nonce = os.urandom(NONCE_SIZE)
+        if len(nonce) != NONCE_SIZE:
+            raise CryptoError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        stream = self._keystream(nonce, len(plaintext))
+        ciphertext = bytes(p ^ s for p, s in zip(plaintext, stream))
+        tag = hmac.new(self._mac_key, nonce + ciphertext, hashlib.sha256).hexdigest()
+        return EncryptedBlob(nonce=nonce, ciphertext=ciphertext, tag=tag)
+
+    def decrypt(self, blob: EncryptedBlob) -> bytes:
+        """Verify the MAC then decrypt; raises :class:`CryptoError` on tamper."""
+        expected = hmac.new(self._mac_key, blob.nonce + blob.ciphertext,
+                            hashlib.sha256).hexdigest()
+        if not hmac.compare_digest(expected, blob.tag):
+            raise CryptoError("MAC verification failed: ciphertext was tampered with")
+        stream = self._keystream(blob.nonce, len(blob.ciphertext))
+        return bytes(c ^ s for c, s in zip(blob.ciphertext, stream))

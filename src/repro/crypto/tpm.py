@@ -1,0 +1,111 @@
+"""Simulated Trusted Platform Module.
+
+The paper (Section III, "System Integrity") proposes trusted hardware to
+(a) protect the shared symmetric key and (b) attest the integrity of
+off-chain components (Logging Interfaces, probes).  We simulate the two TPM
+features those rely on:
+
+- **PCR-style measurement**: a component's "code" (here: a canonical
+  description of its configuration/behaviour version) is extended into a
+  platform configuration register; re-measuring after a compromise yields a
+  different PCR value.
+- **Sealed storage**: a key sealed under the current PCR value can only be
+  unsealed while the PCR still matches — a tampered component loses access
+  to the federation key, which is exactly the mitigation the paper sketches.
+
+Attestation reports are signed with the TPM's endorsement key so a remote
+verifier (the DRAMS orchestrator) can check component integrity on a
+schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import CryptoError
+from repro.common.serialization import canonical_bytes
+from repro.crypto.hashing import hash_pair, sha256_hex
+from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
+
+_INITIAL_PCR = sha256_hex(b"pcr-initial")
+
+
+@dataclass(frozen=True)
+class AttestationReport:
+    """Signed statement of the platform's current measurement."""
+
+    tpm_id: str
+    pcr_value: str
+    nonce: str
+    signature: Signature
+
+    def verify(self, endorsement_key: VerifyingKey, expected_pcr: str, nonce: str) -> bool:
+        """Check signature, freshness (nonce) and the expected measurement."""
+        message = canonical_bytes(
+            {"tpm": self.tpm_id, "pcr": self.pcr_value, "nonce": self.nonce})
+        if not endorsement_key.verify(message, self.signature):
+            return False
+        return self.pcr_value == expected_pcr and self.nonce == nonce
+
+
+@dataclass
+class _SealedKey:
+    pcr_value: str
+    material: Any
+
+
+class SimulatedTpm:
+    """One TPM instance per protected host."""
+
+    def __init__(self, tpm_id: str, endorsement_seed: bytes) -> None:
+        self.tpm_id = tpm_id
+        self._endorsement = SigningKey.generate(b"tpm|" + endorsement_seed)
+        self._pcr = _INITIAL_PCR
+        self._sealed: dict[str, _SealedKey] = {}
+
+    @property
+    def endorsement_key(self) -> VerifyingKey:
+        return self._endorsement.public
+
+    @property
+    def pcr(self) -> str:
+        return self._pcr
+
+    def extend_pcr(self, measurement: Any) -> str:
+        """Extend the PCR with a measurement (order-sensitive, irreversible)."""
+        self._pcr = hash_pair(self._pcr, sha256_hex(canonical_bytes(measurement)))
+        return self._pcr
+
+    def reset(self) -> None:
+        """Platform reboot: PCR returns to the initial value."""
+        self._pcr = _INITIAL_PCR
+
+    # -- sealed storage ------------------------------------------------------
+
+    def seal(self, name: str, material: Any) -> None:
+        """Bind ``material`` to the current PCR value."""
+        self._sealed[name] = _SealedKey(pcr_value=self._pcr, material=material)
+
+    def unseal(self, name: str) -> Any:
+        """Release sealed material only if the PCR still matches."""
+        try:
+            entry = self._sealed[name]
+        except KeyError:
+            raise CryptoError(f"TPM {self.tpm_id}: nothing sealed under {name!r}") from None
+        if entry.pcr_value != self._pcr:
+            raise CryptoError(
+                f"TPM {self.tpm_id}: unseal refused, platform measurement changed")
+        return entry.material
+
+    # -- attestation ------------------------------------------------------------
+
+    def attest(self, nonce: str) -> AttestationReport:
+        """Produce a signed quote of the current PCR for a verifier's nonce."""
+        message = canonical_bytes({"tpm": self.tpm_id, "pcr": self._pcr, "nonce": nonce})
+        return AttestationReport(
+            tpm_id=self.tpm_id,
+            pcr_value=self._pcr,
+            nonce=nonce,
+            signature=self._endorsement.sign(message),
+        )

@@ -1,0 +1,46 @@
+"""DRAMS — Decentralised Runtime Access Monitoring System.
+
+The paper's primary contribution: runtime monitoring for a distributed
+access control system, resilient to attacks on the monitoring itself by
+storing logs and running integrity checks on a smart-contract blockchain.
+
+Components (Figure 1):
+
+- :mod:`repro.drams.probe` — probing agents intercepting the four
+  monitoring points (PEP-in, PDP-in, PDP-out, PEP-enforce),
+- :mod:`repro.drams.logging_interface` — the per-tenant Logging Interface:
+  encrypts log payloads with the federation key K, submits them as signed
+  blockchain transactions, and surfaces smart-contract alert events,
+- :mod:`repro.drams.contract` — the monitor smart contract: stores log
+  commitments and runs the matching algorithms that detect tampered
+  requests/decisions, equivocation and missing logs,
+- :mod:`repro.drams.analyser` — the standalone Analyser: independently
+  re-derives expected decisions from the policies in force and reports
+  incorrect decisions on-chain,
+- :mod:`repro.drams.system` — the orchestrator deploying all of the above
+  over a federation.
+"""
+
+from repro.drams.alerts import Alert, AlertType, AlertBus
+from repro.drams.logs import EntryType, LogEntry
+from repro.drams.contract import MonitorContract
+from repro.drams.probe import attach_pep_probes, attach_pdp_probes, ProbeAgent
+from repro.drams.logging_interface import LoggingInterface
+from repro.drams.analyser import Analyser
+from repro.drams.system import DramsConfig, DramsSystem
+
+__all__ = [
+    "Alert",
+    "AlertType",
+    "AlertBus",
+    "EntryType",
+    "LogEntry",
+    "MonitorContract",
+    "ProbeAgent",
+    "attach_pep_probes",
+    "attach_pdp_probes",
+    "LoggingInterface",
+    "Analyser",
+    "DramsConfig",
+    "DramsSystem",
+]

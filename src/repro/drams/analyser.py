@@ -1,0 +1,171 @@
+"""The Analyser.
+
+A standalone entity logically placed in the infrastructure tenant but
+deployed in a *different cloud section* from the access control components
+(so compromising the PDP's section does not silence it).  It dynamically
+consumes the gathered logs and checks, against a formally-grounded
+representation of the policies in force, that every decision the PDP issued
+is the one the policies entail.
+
+Dataflow per decision:
+
+1. its blockchain node applies a block containing a ``pdp-out`` log entry →
+   contract emits ``LogRecorded`` → the Analyser wakes up;
+2. it reads the correlation's stored ciphertexts from the replicated
+   contract state, decrypts the request (``pdp-in``, falling back to
+   ``pep-in``) and the decision (``pdp-out``) with the federation key K;
+3. the :class:`~repro.analysis.semantics.DecisionOracle` for the active
+   policy version re-derives the expected decision;
+4. on disagreement it submits a ``report_violation`` transaction, so the
+   ``INCORRECT_DECISION`` alert is raised *on-chain* and reaches every
+   tenant's Logging Interface.
+
+The oracle tracks PRP publications: decisions are checked against the
+policy version that was in force when they were made (by decision time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.semantics import DecisionOracle
+from repro.blockchain.contracts import ContractEvent
+from repro.blockchain.node import BlockchainNode
+from repro.blockchain.transaction import Transaction
+from repro.common.errors import CryptoError
+from repro.common.serialization import from_json
+from repro.crypto.signatures import SigningKey
+from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
+from repro.drams.contract import CONTRACT_NAME, EVENT_LOG_RECORDED
+from repro.drams.logs import EntryType
+from repro.accesscontrol.prp import PolicyRetrievalPoint, PolicyVersion
+from repro.simnet.network import Host, Message, Network
+
+
+class Analyser(Host):
+    """Decision-correctness checker backed by the formal semantics."""
+
+    def __init__(self, network: Network, address: str,
+                 node: BlockchainNode, signing_key: SigningKey,
+                 federation_key: SymmetricKey, prp: PolicyRetrievalPoint) -> None:
+        super().__init__(network, address)
+        self.node = node
+        self.signing_key = signing_key
+        self.federation_key = federation_key
+        self.prp = prp
+        self.checked = 0
+        self.violations_reported = 0
+        self.decryption_failures = 0
+        self.unresolved = 0
+        self._seq = 0
+        self._verified: set[str] = set()
+        self._oracles: dict[int, DecisionOracle] = {}
+        self._versions: list[PolicyVersion] = list(prp.history())
+        prp.on_publish(self._versions.append)
+        node.chain.subscribe_events(self._on_contract_event)
+
+    # -- policy versions ------------------------------------------------------
+
+    def _oracle_for(self, version: PolicyVersion) -> DecisionOracle:
+        oracle = self._oracles.get(version.version)
+        if oracle is None:
+            oracle = DecisionOracle(version.document)
+            self._oracles[version.version] = oracle
+        return oracle
+
+    # -- event-driven checking ---------------------------------------------------
+
+    def receive(self, message: Message) -> None:  # pragma: no cover - no direct msgs
+        return
+
+    def _on_contract_event(self, event: ContractEvent, block_hash: str) -> None:
+        if event.contract != CONTRACT_NAME or event.name != EVENT_LOG_RECORDED:
+            return
+        entry_type = event.payload.get("entry_type")
+        # A decision becomes checkable once pdp-out AND a request leg are
+        # on-chain; either side may land first, so react to both.
+        if entry_type not in (EntryType.PDP_OUT, EntryType.PDP_IN, EntryType.PEP_IN):
+            return
+        correlation_id = event.payload["correlation_id"]
+        if correlation_id in self._verified:
+            return
+        self._check_decision(correlation_id)
+
+    def _read_plaintext(self, record: dict, entry_type: str) -> Optional[dict]:
+        entry = record["entries"].get(entry_type)
+        if entry is None or "ciphertext" not in entry:
+            return None
+        blob = EncryptedBlob.from_dict(entry["ciphertext"])
+        try:
+            plaintext = self.federation_key.decrypt(blob)
+        except CryptoError:
+            self.decryption_failures += 1
+            return None
+        return from_json(plaintext.decode("utf-8"))
+
+    def _check_decision(self, correlation_id: str) -> None:
+        records = self.node.chain.state_of(CONTRACT_NAME)["records"]
+        record = records.get(correlation_id)
+        if record is None:
+            return
+        decision_payload = self._read_plaintext(record, EntryType.PDP_OUT)
+        request_payload = (self._read_plaintext(record, EntryType.PDP_IN)
+                           or self._read_plaintext(record, EntryType.PEP_IN))
+        if decision_payload is None or request_payload is None:
+            # Request leg not yet on chain; retry when it lands (the
+            # LogRecorded event for it will not re-trigger pdp-out, so we
+            # check again on the next pdp-in/pep-in event instead).
+            self.unresolved += 1
+            return
+        self._verified.add(correlation_id)
+        self.checked += 1
+        # Check against the latest published version: PRP history is the
+        # authority on "policies currently in force" (an attacker altering
+        # the PDP's view cannot alter the Analyser's).
+        version = self._versions[-1] if self._versions else None
+        if version is None:
+            return
+        oracle = self._oracle_for(version)
+        expected = oracle.expected_decision(request_payload["content"])
+        observed = decision_payload["decision"]
+        if expected != observed:
+            self.violations_reported += 1
+            self._submit_violation(correlation_id, expected, observed,
+                                   version.version)
+
+    def _submit_violation(self, correlation_id: str, expected: str,
+                          observed: str, policy_version: int) -> None:
+        self._seq += 1
+        tx = Transaction(
+            sender=self.address,
+            contract=CONTRACT_NAME,
+            method="report_violation",
+            args={
+                "correlation_id": correlation_id,
+                "kind": "incorrect-decision",
+                "details": {
+                    "expected": expected,
+                    "observed": observed,
+                    "policy_version": policy_version,
+                },
+            },
+            seq=self._seq,
+        ).sign(self.signing_key)
+        self.node.submit_transaction(tx)
+
+    # -- sweeping (periodic re-check of unresolved correlations) ---------------------
+
+    def sweep(self) -> int:
+        """Re-examine any correlation with a pdp-out entry not yet verified.
+
+        Covers orderings where the request leg landed after the decision
+        leg.  Returns the number of decisions checked in this sweep.
+        """
+        records = self.node.chain.state_of(CONTRACT_NAME)["records"]
+        before = self.checked
+        for correlation_id, record in list(records.items()):
+            if correlation_id in self._verified:
+                continue
+            if EntryType.PDP_OUT in record["entries"]:
+                self._check_decision(correlation_id)
+        return self.checked - before

@@ -1,0 +1,248 @@
+"""The DRAMS monitor smart contract.
+
+Runs replicated on every federation blockchain node.  It stores, per
+correlation id, the hash commitments (and ciphertexts, for later audit by
+the Analyser) of the four monitoring points, and applies the paper's
+"expressly devised algorithms" incrementally as entries arrive:
+
+1. **Request-leg matching** — once both PEP-in and PDP-in commitments are
+   present, they must be equal; otherwise the request was modified between
+   interception and evaluation → ``REQUEST_MISMATCH``.
+2. **Decision-leg matching** — once both PDP-out and PEP-out commitments
+   are present, they must be equal; otherwise the decision was modified
+   between issuance and enforcement → ``DECISION_MISMATCH``.
+3. **Equivocation** — a second, different payload for an already-recorded
+   monitoring point → ``EQUIVOCATION`` (replays, double reporting).
+4. **Timeout sweep** — ``tick`` flags records whose expected entries did
+   not all arrive within ``timeout_blocks`` of the first one →
+   ``MISSING_LOG`` (circumvented components, suppressed probes).
+
+The Analyser contributes decision-correctness verdicts via
+``report_violation`` so that even *semantic* violations end up on-chain and
+non-repudiable.
+
+Alerts are contract *events*: they replicate with the chain, reach every
+Logging Interface, and cannot be suppressed by any single tenant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.blockchain.contracts import Contract, ContractContext, ContractError
+from repro.drams.logs import EntryType
+
+CONTRACT_NAME = "drams-monitor"
+
+#: Event names emitted by the contract.
+EVENT_ALERT = "Alert"
+EVENT_VERIFIED = "AccessVerified"
+EVENT_LOG_RECORDED = "LogRecorded"
+
+
+class MonitorContract(Contract):
+    """Replicated log store plus matching algorithms."""
+
+    name = CONTRACT_NAME
+
+    def __init__(self, timeout_blocks: int = 6, retention_blocks: int = 50,
+                 store_ciphertexts: bool = True,
+                 expected_entries: tuple[str, ...] = EntryType.ALL,
+                 enable_leg_matching: bool = True) -> None:
+        """``expected_entries`` and ``enable_leg_matching`` exist for the
+        ablation experiments (probe-placement and matching-location
+        studies); production deployments keep the defaults."""
+        if timeout_blocks < 1:
+            raise ContractError("timeout_blocks must be >= 1")
+        for entry_type in expected_entries:
+            if entry_type not in EntryType.ALL:
+                raise ContractError(f"unknown expected entry: {entry_type!r}")
+        self.timeout_blocks = timeout_blocks
+        self.retention_blocks = retention_blocks
+        self.store_ciphertexts = store_ciphertexts
+        self.expected_entries = tuple(expected_entries)
+        self.enable_leg_matching = enable_leg_matching
+
+    def initial_state(self) -> dict[str, Any]:
+        return {
+            "records": {},
+            "stats": {"logs": 0, "alerts": 0, "verified": 0, "pruned": 0},
+        }
+
+    # -- dispatch -------------------------------------------------------------
+
+    def invoke(self, state: dict[str, Any], method: str, args: dict[str, Any],
+               ctx: ContractContext, emit: Callable[[str, dict], None]) -> Any:
+        if method == "record_log":
+            return self._record_log(state, args, ctx, emit)
+        if method == "tick":
+            return self._tick(state, ctx, emit)
+        if method == "report_violation":
+            return self._report_violation(state, args, ctx, emit)
+        raise ContractError(f"unknown method: {method!r}")
+
+    # -- log recording and incremental matching ----------------------------------
+
+    def _record_log(self, state: dict, args: dict, ctx: ContractContext,
+                    emit: Callable[[str, dict], None]) -> dict:
+        try:
+            corr_id = args["correlation_id"]
+            entry_type = args["entry_type"]
+            payload_hash = args["payload_hash"]
+            tenant = args["tenant"]
+            component = args["component"]
+        except KeyError as exc:
+            raise ContractError(f"record_log missing argument: {exc}") from exc
+        if entry_type not in EntryType.ALL:
+            raise ContractError(f"unknown entry type: {entry_type!r}")
+
+        record = state["records"].setdefault(corr_id, {
+            "first_height": ctx.block_height,
+            "entries": {},
+            "alerted": {},
+            "complete": False,
+        })
+        entries = record["entries"]
+        existing = entries.get(entry_type)
+        if existing is not None:
+            if existing["payload_hash"] == payload_hash:
+                return {"ok": True, "duplicate": True}
+            self._alert(state, record, emit, ctx, "equivocation", corr_id, {
+                "entry_type": entry_type,
+                "first_hash": existing["payload_hash"],
+                "second_hash": payload_hash,
+                "first_reporter": existing["component"],
+                "second_reporter": component,
+            })
+            return {"ok": True, "equivocation": True}
+
+        entry = {
+            "payload_hash": payload_hash,
+            "tenant": tenant,
+            "component": component,
+            "height": ctx.block_height,
+        }
+        if self.store_ciphertexts and "ciphertext" in args:
+            entry["ciphertext"] = args["ciphertext"]
+        entries[entry_type] = entry
+        state["stats"]["logs"] += 1
+        emit(EVENT_LOG_RECORDED, {
+            "correlation_id": corr_id,
+            "entry_type": entry_type,
+            "tenant": tenant,
+        })
+
+        if self.enable_leg_matching:
+            self._match_leg(state, record, emit, ctx, corr_id,
+                            EntryType.REQUEST_LEG, "request-mismatch")
+            self._match_leg(state, record, emit, ctx, corr_id,
+                            EntryType.DECISION_LEG, "decision-mismatch")
+        self._maybe_complete(state, record, emit, ctx, corr_id)
+        return {"ok": True}
+
+    def _match_leg(self, state: dict, record: dict, emit, ctx: ContractContext,
+                   corr_id: str, leg: tuple[str, str], alert_type: str) -> None:
+        first, second = leg
+        entries = record["entries"]
+        if first not in entries or second not in entries:
+            return
+        if entries[first]["payload_hash"] == entries[second]["payload_hash"]:
+            return
+        self._alert(state, record, emit, ctx, alert_type, corr_id, {
+            "leg": [first, second],
+            f"{first}-hash": entries[first]["payload_hash"],
+            f"{second}-hash": entries[second]["payload_hash"],
+            f"{first}-component": entries[first]["component"],
+            f"{second}-component": entries[second]["component"],
+        })
+
+    def _leg_consistent(self, entries: dict, leg: tuple[str, str]) -> bool:
+        first, second = leg
+        if first not in entries or second not in entries:
+            return True  # leg not covered by this deployment's probes
+        return entries[first]["payload_hash"] == entries[second]["payload_hash"]
+
+    def _maybe_complete(self, state: dict, record: dict, emit, ctx: ContractContext,
+                        corr_id: str) -> None:
+        if record["complete"]:
+            return
+        entries = record["entries"]
+        if any(entry_type not in entries for entry_type in self.expected_entries):
+            return
+        request_ok = self._leg_consistent(entries, EntryType.REQUEST_LEG)
+        decision_ok = self._leg_consistent(entries, EntryType.DECISION_LEG)
+        if request_ok and decision_ok:
+            record["complete"] = True
+            record["completed_height"] = ctx.block_height
+            state["stats"]["verified"] += 1
+            emit(EVENT_VERIFIED, {"correlation_id": corr_id,
+                                  "height": ctx.block_height})
+
+    # -- timeout sweep and pruning ------------------------------------------------
+
+    def _tick(self, state: dict, ctx: ContractContext,
+              emit: Callable[[str, dict], None]) -> dict:
+        flagged = 0
+        pruned = 0
+        height = ctx.block_height
+        for corr_id, record in list(state["records"].items()):
+            if record["complete"]:
+                completed = record.get("completed_height", record["first_height"])
+                if (self.retention_blocks > 0
+                        and height - completed > self.retention_blocks):
+                    del state["records"][corr_id]
+                    pruned += 1
+                continue
+            if "missing-log" in record["alerted"]:
+                continue
+            if height - record["first_height"] >= self.timeout_blocks:
+                missing = [entry_type for entry_type in self.expected_entries
+                           if entry_type not in record["entries"]]
+                if missing:
+                    self._alert(state, record, emit, ctx, "missing-log", corr_id, {
+                        "missing": missing,
+                        "present": sorted(record["entries"]),
+                        "age_blocks": height - record["first_height"],
+                    })
+                    flagged += 1
+                else:
+                    # All entries present but a leg mismatched earlier; the
+                    # mismatch alert already fired — nothing more to flag.
+                    record["alerted"]["missing-log"] = True
+        state["stats"]["pruned"] += pruned
+        return {"ok": True, "flagged": flagged, "pruned": pruned}
+
+    # -- analyser-reported violations ---------------------------------------------
+
+    def _report_violation(self, state: dict, args: dict, ctx: ContractContext,
+                          emit: Callable[[str, dict], None]) -> dict:
+        try:
+            corr_id = args["correlation_id"]
+            kind = args["kind"]
+            details = dict(args.get("details", {}))
+        except KeyError as exc:
+            raise ContractError(f"report_violation missing argument: {exc}") from exc
+        record = state["records"].setdefault(corr_id, {
+            "first_height": ctx.block_height,
+            "entries": {},
+            "alerted": {},
+            "complete": False,
+        })
+        details.setdefault("reported_by", ctx.sender)
+        self._alert(state, record, emit, ctx, kind, corr_id, details)
+        return {"ok": True}
+
+    # -- alert bookkeeping ----------------------------------------------------------
+
+    def _alert(self, state: dict, record: dict, emit, ctx: ContractContext,
+               alert_type: str, corr_id: str, details: dict) -> None:
+        if alert_type in record["alerted"]:
+            return
+        record["alerted"][alert_type] = True
+        state["stats"]["alerts"] += 1
+        emit(EVENT_ALERT, {
+            "alert_type": alert_type,
+            "correlation_id": corr_id,
+            "details": details,
+            "height": ctx.block_height,
+        })

@@ -1,0 +1,79 @@
+"""Access log schema.
+
+Every access request produces (at most) four log entries, one per
+monitoring point.  An entry carries:
+
+- the *correlation id* joining all entries of one request instance,
+- a *hash commitment* over the semantic payload — what the smart contract
+  compares across monitoring points without needing the plaintext,
+- the payload itself, encrypted under the federation key K before it
+  leaves the Logging Interface (on-chain data is public to the federation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import ValidationError
+from repro.crypto.hashing import hash_value
+
+
+class EntryType:
+    """The four monitoring points of the PEP→PDP→PEP flow."""
+
+    PEP_IN = "pep-in"
+    PDP_IN = "pdp-in"
+    PDP_OUT = "pdp-out"
+    PEP_OUT = "pep-out"
+
+    ALL = (PEP_IN, PDP_IN, PDP_OUT, PEP_OUT)
+
+    #: Pairs whose payload hashes must agree for an untampered flow, and
+    #: the mismatch alert each pair raises (see the monitor contract).
+    REQUEST_LEG = (PEP_IN, PDP_IN)
+    DECISION_LEG = (PDP_OUT, PEP_OUT)
+
+
+@dataclass
+class LogEntry:
+    """One probe observation, before encryption."""
+
+    correlation_id: str
+    entry_type: str
+    tenant: str
+    component: str
+    payload: dict[str, Any]
+    observed_at: float
+
+    def __post_init__(self) -> None:
+        if self.entry_type not in EntryType.ALL:
+            raise ValidationError(f"unknown log entry type: {self.entry_type!r}")
+
+    def payload_hash(self) -> str:
+        """Hash commitment the contract uses for cross-probe matching."""
+        return hash_value(self.payload)
+
+    def to_dict(self) -> dict:
+        return {
+            "correlation_id": self.correlation_id,
+            "entry_type": self.entry_type,
+            "tenant": self.tenant,
+            "component": self.component,
+            "payload": self.payload,
+            "observed_at": self.observed_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LogEntry":
+        try:
+            return cls(
+                correlation_id=data["correlation_id"],
+                entry_type=data["entry_type"],
+                tenant=data["tenant"],
+                component=data["component"],
+                payload=dict(data["payload"]),
+                observed_at=float(data["observed_at"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValidationError(f"malformed log entry: {exc}") from exc

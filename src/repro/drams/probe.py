@@ -1,0 +1,88 @@
+"""Probing agents.
+
+An agent is an in-process interceptor attached to a monitored component's
+probe hooks.  It converts each observation into a :class:`LogEntry` and
+ships it to the tenant's Logging Interface as a ``drams_log`` network
+message (an intra-tenant hop — agents and LI share the tenant, as in
+Figure 1).
+
+The agent deliberately uses the *component's* network identity for that
+hop: it is deployed inside the component's runtime, which is also why a
+fully compromised component can at worst *suppress* its own probe (modelled
+by ``ProbeAgent.suppressed``) — producing a MISSING_LOG detection — but
+cannot forge other components' probes, whose log transactions are signed by
+their own Logging Interfaces.
+"""
+
+from __future__ import annotations
+
+from repro.accesscontrol.messages import AccessDecision, AccessRequest
+from repro.accesscontrol.pdp_service import PdpService
+from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.drams.logs import EntryType, LogEntry
+from repro.simnet.network import Host
+
+
+class ProbeAgent:
+    """One agent monitoring one component."""
+
+    def __init__(self, component_host: Host, tenant: str, component_id: str,
+                 li_address: str) -> None:
+        self.component_host = component_host
+        self.tenant = tenant
+        self.component_id = component_id
+        self.li_address = li_address
+        self.suppressed = False
+        self.suppressed_types: set[str] = set()
+        self.observations = 0
+
+    def observe(self, correlation_id: str, entry_type: str, payload: dict) -> None:
+        """Record one monitoring point and ship it to the LI."""
+        if self.suppressed or entry_type in self.suppressed_types:
+            return
+        self.observations += 1
+        entry = LogEntry(
+            correlation_id=correlation_id,
+            entry_type=entry_type,
+            tenant=self.tenant,
+            component=self.component_id,
+            payload=payload,
+            observed_at=self.component_host.sim.now,
+        )
+        self.component_host.send(self.li_address, "drams_log", entry.to_dict())
+
+
+def attach_pep_probes(pep: PolicyEnforcementPoint, li_address: str) -> ProbeAgent:
+    """Wire an agent to a PEP's two monitoring points."""
+    agent = ProbeAgent(component_host=pep, tenant=pep.tenant_name,
+                       component_id=pep.address, li_address=li_address)
+
+    def on_request(request: AccessRequest) -> None:
+        agent.observe(request.correlation(), EntryType.PEP_IN,
+                      request.semantic_payload())
+
+    def on_enforce(request: AccessRequest, decision: AccessDecision) -> None:
+        agent.observe(request.correlation(), EntryType.PEP_OUT,
+                      decision.semantic_payload())
+
+    pep.on_request_intercepted.append(on_request)
+    pep.on_enforce.append(on_enforce)
+    return agent
+
+
+def attach_pdp_probes(pdp_service: PdpService, tenant: str, li_address: str) -> ProbeAgent:
+    """Wire an agent to the PDP's two monitoring points."""
+    agent = ProbeAgent(component_host=pdp_service, tenant=tenant,
+                       component_id=pdp_service.address, li_address=li_address)
+
+    def on_request(request: AccessRequest) -> None:
+        agent.observe(request.correlation(), EntryType.PDP_IN,
+                      request.semantic_payload())
+
+    def on_decision(request: AccessRequest, decision: AccessDecision) -> None:
+        agent.observe(request.correlation(), EntryType.PDP_OUT,
+                      decision.semantic_payload())
+
+    pdp_service.on_request_received.append(on_request)
+    pdp_service.on_decision.append(on_decision)
+    return agent

@@ -1,0 +1,271 @@
+"""DRAMS deployment orchestrator.
+
+Wires the full Figure 1 stack over a federation:
+
+- one blockchain node + one Logging Interface per tenant (members and
+  infrastructure), full-mesh gossip, all nodes mining (private PoW chain);
+- probing agents on every member-tenant PEP and on the PDP;
+- the monitor smart contract deployed chain-wide;
+- the Analyser with its own blockchain node, registered in the
+  infrastructure tenant but in a separate section from the access control
+  components (its node gives it an independent view of the chain);
+- a federation-wide :class:`~repro.drams.alerts.AlertBus` fed by every LI;
+- periodic ``tick`` transactions driving the contract's timeout sweep, and
+  optional periodic TPM attestation of the Logging Interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.blockchain.config import BlockchainConfig
+from repro.blockchain.contracts import ContractRegistry
+from repro.blockchain.node import BlockchainNode
+from repro.common.errors import ValidationError
+from repro.common.ids import new_id
+from repro.crypto.signatures import SigningKey, VerifyingKey
+from repro.crypto.symmetric import SymmetricKey
+from repro.crypto.tpm import SimulatedTpm
+from repro.drams.alerts import Alert, AlertBus, AlertType
+from repro.drams.analyser import Analyser
+from repro.drams.contract import CONTRACT_NAME, MonitorContract
+from repro.drams.logs import EntryType
+from repro.drams.logging_interface import LoggingInterface
+from repro.drams.probe import ProbeAgent, attach_pdp_probes, attach_pep_probes
+from repro.federation.federation import Federation
+from repro.accesscontrol.pdp_service import PdpService
+from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.prp import PolicyRetrievalPoint
+
+
+@dataclass
+class DramsConfig:
+    """Monitoring-deployment parameters."""
+
+    chain: BlockchainConfig = field(default_factory=lambda: BlockchainConfig(
+        chain_id="drams-chain",
+        difficulty_bits=12.0,
+        target_block_interval=1.0,
+        pow_mode="simulated",
+        confirmations=2,
+    ))
+    timeout_blocks: int = 6
+    retention_blocks: int = 200
+    tick_interval: float = 2.0
+    analyser_sweep_interval: float = 2.0
+    node_hashrate: float = 1024.0
+    use_tpm: bool = True
+    attestation_interval: float = 0.0  # seconds; 0 disables
+    key_entropy: bytes = b"drams-federation-key"
+    store_ciphertexts: bool = True
+    # Ablation knobs (see DESIGN.md section 5); keep defaults in production.
+    expected_entries: tuple = EntryType.ALL
+    enable_leg_matching: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_blocks < 1:
+            raise ValidationError("timeout_blocks must be >= 1")
+        if self.tick_interval <= 0:
+            raise ValidationError("tick_interval must be positive")
+
+
+class DramsSystem:
+    """The deployed monitoring system for one federation."""
+
+    def __init__(self, federation: Federation, prp: PolicyRetrievalPoint,
+                 pdp_service: PdpService,
+                 peps: dict[str, PolicyEnforcementPoint],
+                 config: Optional[DramsConfig] = None) -> None:
+        self.federation = federation
+        self.prp = prp
+        self.pdp_service = pdp_service
+        self.peps = dict(peps)
+        self.config = config or DramsConfig()
+        self.alerts = AlertBus()
+        self.federation_key = SymmetricKey.generate(entropy=self.config.key_entropy)
+        self.nodes: dict[str, BlockchainNode] = {}
+        self.interfaces: dict[str, LoggingInterface] = {}
+        self.tpms: dict[str, SimulatedTpm] = {}
+        self.expected_pcrs: dict[str, str] = {}
+        self.probes: dict[str, ProbeAgent] = {}
+        self.analyser: Optional[Analyser] = None
+        self._keys: dict[str, VerifyingKey] = {}
+        self._signing: dict[str, SigningKey] = {}
+        self._stoppers: list[Callable[[], None]] = []
+        self._started = False
+        self.attestation_rounds = 0
+        self._deploy()
+
+    # -- key management ---------------------------------------------------------
+
+    def _mint_identity(self, owner: str) -> SigningKey:
+        key = SigningKey.generate(self.config.key_entropy + b"|" + owner.encode())
+        self._signing[owner] = key
+        self._keys[owner] = key.public
+        return key
+
+    def _key_lookup(self, owner: str) -> Optional[VerifyingKey]:
+        return self._keys.get(owner)
+
+    # -- deployment ----------------------------------------------------------------
+
+    def _deploy(self) -> None:
+        registry = ContractRegistry()
+        registry.deploy(MonitorContract(
+            timeout_blocks=self.config.timeout_blocks,
+            retention_blocks=self.config.retention_blocks,
+            store_ciphertexts=self.config.store_ciphertexts,
+            expected_entries=tuple(self.config.expected_entries),
+            enable_leg_matching=self.config.enable_leg_matching,
+        ))
+        tenant_names = [t.name for t in self.federation.member_tenants]
+        tenant_names.append(self.federation.infrastructure_tenant.name)
+
+        # Blockchain node + Logging Interface per tenant.
+        for tenant_name in tenant_names:
+            tenant = self.federation.tenant(tenant_name)
+            node_address = tenant.address("bcnode")
+            li_address = tenant.address("li")
+            node_key = self._mint_identity(node_address)
+            li_key = self._mint_identity(li_address)
+            node = BlockchainNode(
+                self.federation.network, node_address, self.config.chain,
+                registry, self.federation.rng, key_lookup=self._key_lookup,
+                signing_key=node_key, hashrate=self.config.node_hashrate)
+            tenant.register_host(node_address)
+            tpm = None
+            if self.config.use_tpm:
+                tpm = SimulatedTpm(tpm_id=f"tpm:{li_address}",
+                                   endorsement_seed=li_address.encode())
+                tpm.extend_pcr({"component": li_address, "role": "logging-interface",
+                                "version": 1})
+            li = LoggingInterface(
+                self.federation.network, li_address, tenant_name, node,
+                signing_key=li_key, federation_key=self.federation_key, tpm=tpm)
+            tenant.register_host(li_address)
+            li.on_alert(self.alerts.publish)
+            self.nodes[tenant_name] = node
+            self.interfaces[tenant_name] = li
+            if tpm is not None:
+                self.tpms[li_address] = tpm
+                self.expected_pcrs[li_address] = tpm.pcr
+
+        # The Analyser: its own node, infrastructure tenant, separate section.
+        infra = self.federation.infrastructure_tenant
+        analyser_node_address = infra.address("bcnode-analyser")
+        analyser_address = infra.address("analyser")
+        analyser_node_key = self._mint_identity(analyser_node_address)
+        analyser_key = self._mint_identity(analyser_address)
+        analyser_node = BlockchainNode(
+            self.federation.network, analyser_node_address, self.config.chain,
+            registry, self.federation.rng, key_lookup=self._key_lookup,
+            signing_key=analyser_node_key, hashrate=self.config.node_hashrate)
+        infra.register_host(analyser_node_address)
+        self.analyser = Analyser(
+            self.federation.network, analyser_address, analyser_node,
+            signing_key=analyser_key, federation_key=self.federation_key,
+            prp=self.prp)
+        infra.register_host(analyser_address)
+        self.nodes["__analyser__"] = analyser_node
+
+        # Full-mesh gossip between all nodes.
+        node_addresses = [node.address for node in self.nodes.values()]
+        for node in self.nodes.values():
+            node.connect(node_addresses)
+
+        # Probes: each member PEP, plus the PDP in the infrastructure tenant.
+        infra_li = self.interfaces[infra.name].address
+        for tenant_name, pep in self.peps.items():
+            li = self.interfaces.get(tenant_name)
+            if li is None:
+                raise ValidationError(f"no logging interface for tenant {tenant_name!r}")
+            self.probes[f"pep:{tenant_name}"] = attach_pep_probes(pep, li.address)
+        self.probes["pdp"] = attach_pdp_probes(self.pdp_service, infra.name, infra_li)
+
+        self.federation.finalize_topology()
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start mining, ticking, sweeping and (optionally) attestation."""
+        if self._started:
+            return
+        self._started = True
+        sim = self.federation.sim
+        for node in self.nodes.values():
+            node.start()
+        infra_li = self.interfaces[self.federation.infrastructure_tenant.name]
+        jitter_rng = self.federation.rng.fork("drams-ticks")
+        self._stoppers.append(sim.every(
+            self.config.tick_interval, lambda: infra_li.submit_tick(),
+            label="drams-tick", jitter=lambda: jitter_rng.uniform(0, 0.05)))
+        if self.analyser is not None and self.config.analyser_sweep_interval > 0:
+            self._stoppers.append(sim.every(
+                self.config.analyser_sweep_interval,
+                lambda: self.analyser.sweep(), label="analyser-sweep"))
+        if self.config.use_tpm and self.config.attestation_interval > 0:
+            self._stoppers.append(sim.every(
+                self.config.attestation_interval, self.run_attestation_round,
+                label="tpm-attestation"))
+
+    def stop(self) -> None:
+        for stopper in self._stoppers:
+            stopper()
+        self._stoppers.clear()
+        for node in self.nodes.values():
+            node.stop()
+        self._started = False
+
+    # -- attestation ------------------------------------------------------------------
+
+    def run_attestation_round(self) -> list[str]:
+        """Challenge every TPM-protected LI; alert on measurement drift.
+
+        Returns the addresses that failed attestation in this round.
+        """
+        self.attestation_rounds += 1
+        failed = []
+        for address, tpm in self.tpms.items():
+            nonce = new_id("attest")
+            report = tpm.attest(nonce)
+            expected = self.expected_pcrs[address]
+            if not report.verify(tpm.endorsement_key, expected, nonce):
+                failed.append(address)
+                self.alerts.publish(Alert(
+                    alert_type=AlertType.ATTESTATION_FAILURE,
+                    correlation_id=address,
+                    details={"expected_pcr": expected, "reported_pcr": report.pcr_value},
+                    block_height=self.reference_chain().height,
+                    raised_at=self.federation.sim.now,
+                ))
+        return failed
+
+    # -- inspection ----------------------------------------------------------------------
+
+    def reference_chain(self):
+        """The infrastructure tenant's chain view (for metrics/queries)."""
+        return self.nodes[self.federation.infrastructure_tenant.name].chain
+
+    def monitor_state(self) -> dict:
+        return self.reference_chain().state_of(CONTRACT_NAME)
+
+    def commit_latencies(self) -> list[float]:
+        """Log-submission → finality latencies across all LIs."""
+        out: list[float] = []
+        for li in self.interfaces.values():
+            out.extend(li.commit_latencies)
+        return out
+
+    def stats(self) -> dict:
+        state = self.monitor_state()
+        chain = self.reference_chain()
+        return {
+            "chain_height": chain.height,
+            "reorgs": chain.reorgs,
+            "monitor": dict(state["stats"]),
+            "alerts_by_type": {t.value: self.alerts.count(t)
+                               for t in AlertType if self.alerts.count(t)},
+            "logs_submitted": sum(li.logs_submitted for li in self.interfaces.values()),
+            "analyser_checked": self.analyser.checked if self.analyser else 0,
+        }

@@ -1,0 +1,61 @@
+"""Federated service/resource registry.
+
+Partner organisations share data and services hosted on their own cloud
+platforms; the registry records which tenant exposes which resources, so
+workload generators can produce requests against realistic resource
+identifiers and PEPs can route enforcement to the owning tenant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+
+@dataclass
+class FederatedService:
+    """A shared service: named resources exposed by one tenant."""
+
+    name: str
+    tenant_name: str
+    resource_type: str
+    resources: list[str] = field(default_factory=list)
+
+    def add_resource(self, resource_id: str) -> str:
+        if resource_id in self.resources:
+            raise ValidationError(f"service {self.name}: duplicate resource {resource_id!r}")
+        self.resources.append(resource_id)
+        return resource_id
+
+
+class ServiceRegistry:
+    """Federation-wide directory of shared services."""
+
+    def __init__(self) -> None:
+        self._services: dict[str, FederatedService] = {}
+
+    def register(self, service: FederatedService) -> FederatedService:
+        if service.name in self._services:
+            raise ValidationError(f"duplicate service registration: {service.name!r}")
+        self._services[service.name] = service
+        return service
+
+    def get(self, name: str) -> FederatedService:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise ValidationError(f"unknown service: {name!r}") from None
+
+    def services(self) -> list[FederatedService]:
+        return [self._services[name] for name in sorted(self._services)]
+
+    def services_of_tenant(self, tenant_name: str) -> list[FederatedService]:
+        return [svc for svc in self.services() if svc.tenant_name == tenant_name]
+
+    def all_resources(self) -> list[tuple[str, str]]:
+        """(service, resource) pairs across the federation."""
+        pairs = []
+        for service in self.services():
+            pairs.extend((service.name, resource) for resource in service.resources)
+        return pairs

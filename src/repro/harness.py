@@ -1,0 +1,161 @@
+"""One-call deployment of the full monitored federation.
+
+Every example and benchmark builds the same stack: a federation, the
+XACML access control components deployed over it, a workload and (usually)
+DRAMS on top.  :class:`MonitoredFederation` packages that wiring so
+experiment code reads as *what* is measured, not *how* the pieces connect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.accesscontrol.pap import PolicyAdministrationPoint
+from repro.accesscontrol.pdp_service import PdpService
+from repro.accesscontrol.pep import EnforcedAccess, PolicyEnforcementPoint
+from repro.accesscontrol.prp import PolicyRetrievalPoint
+from repro.common.errors import ValidationError
+from repro.common.ids import short_hash
+from repro.drams.system import DramsConfig, DramsSystem
+from repro.federation.federation import Federation, FederationConfig
+from repro.workload.generator import GeneratedRequest, RequestGenerator
+from repro.workload.scenarios import Scenario
+
+
+@dataclass
+class MonitoredFederation:
+    """A federation with access control, workload and (optional) DRAMS."""
+
+    scenario: Scenario
+    federation: Federation
+    prp: PolicyRetrievalPoint
+    pap: PolicyAdministrationPoint
+    pdp_service: PdpService
+    peps: dict[str, PolicyEnforcementPoint]
+    generator: RequestGenerator
+    drams: Optional[DramsSystem] = None
+    outcomes: list[EnforcedAccess] = field(default_factory=list)
+    issued: int = 0
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def build(cls, scenario: Scenario, clouds: int = 2, seed: int = 7,
+              drams_config: Optional[DramsConfig] = None,
+              with_drams: bool = True,
+              federation_config: Optional[FederationConfig] = None,
+              ) -> "MonitoredFederation":
+        """Deploy the standard stack for ``scenario``.
+
+        ``with_drams=False`` yields the unmonitored system (the E7
+        overhead experiment's control arm and the baseline experiments'
+        substrate).
+        """
+        fed_config = federation_config or FederationConfig(
+            name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed)
+        federation = Federation(fed_config)
+        infra = federation.infrastructure_tenant
+
+        prp = PolicyRetrievalPoint()
+        pap = PolicyAdministrationPoint(prp, administrator=f"pap@{infra.name}")
+        pap.publish(scenario.policy_document)
+
+        pdp_service = PdpService(federation.network, infra.address("pdp"), prp)
+        infra.register_host(pdp_service.address)
+
+        peps: dict[str, PolicyEnforcementPoint] = {}
+        for tenant in federation.member_tenants:
+            pep = PolicyEnforcementPoint(
+                federation.network, tenant.address("pep"), tenant.name,
+                pdp_service.address)
+            tenant.register_host(pep.address)
+            peps[tenant.name] = pep
+
+        generator = RequestGenerator(scenario.workload,
+                                     federation.rng.fork("scenario-workload"))
+        drams = None
+        if with_drams:
+            drams = DramsSystem(federation, prp, pdp_service, peps,
+                                drams_config or DramsConfig())
+        else:
+            federation.finalize_topology()
+        return cls(
+            scenario=scenario,
+            federation=federation,
+            prp=prp,
+            pap=pap,
+            pdp_service=pdp_service,
+            peps=peps,
+            generator=generator,
+            drams=drams,
+        )
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def sim(self):
+        return self.federation.sim
+
+    def start(self) -> None:
+        if self.drams is not None:
+            self.drams.start()
+
+    def run(self, until: Optional[float] = None) -> int:
+        return self.sim.run(until=until)
+
+    # -- workload ------------------------------------------------------------------
+
+    def _tenant_for(self, request: GeneratedRequest) -> str:
+        tenants = sorted(self.peps)
+        if not tenants:
+            raise ValidationError("no PEPs deployed")
+        return tenants[request.index % len(tenants)]
+
+    def issue_requests(self, count: int, start_at: float = 0.5,
+                       on_outcome: Optional[Callable[[EnforcedAccess], None]] = None,
+                       ) -> list[GeneratedRequest]:
+        """Schedule ``count`` generated requests onto the PEPs.
+
+        Each request enters through a member tenant's PEP at its generated
+        arrival time; resources are stamped with an owner tenant so the
+        scenarios' locality rules are exercised.
+        """
+        issued = []
+        tenants = sorted(self.peps)
+        for request in self.generator.requests(count, start_at=start_at):
+            tenant = self._tenant_for(request)
+            resource = dict(request.resource)
+            # Stable assignment (string hash() is salted per process).
+            owner_index = int(short_hash(resource["resource-id"]), 16) % len(tenants)
+            resource.setdefault("owner-tenant", tenants[owner_index])
+
+            def dispatch(tenant=tenant, subject=request.subject,
+                         resource=resource, action=request.action) -> None:
+                self.peps[tenant].request_access(
+                    subject=subject, resource=resource, action=action,
+                    callback=self._record_outcome(on_outcome))
+
+            self.sim.schedule_at(request.at, dispatch,
+                                 label=f"workload:{request.index}")
+            issued.append(request)
+            self.issued += 1
+        return issued
+
+    def _record_outcome(self, extra: Optional[Callable[[EnforcedAccess], None]]
+                        ) -> Callable[[EnforcedAccess], None]:
+        def callback(outcome: EnforcedAccess) -> None:
+            self.outcomes.append(outcome)
+            if extra is not None:
+                extra(outcome)
+        return callback
+
+    # -- measurements -----------------------------------------------------------------
+
+    def access_latencies(self) -> list[float]:
+        return [outcome.latency for outcome in self.outcomes]
+
+    def grant_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.granted) / len(self.outcomes)

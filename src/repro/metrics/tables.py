@@ -1,0 +1,39 @@
+"""Plain-text table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(rows: Sequence[dict[str, Any]], title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows the first row's key order; missing cells render
+    as ``-``.  All benchmark harnesses print through this function, so the
+    regenerated "tables" look alike across experiments.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [[_cell(row.get(column, "-")) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    parts = []
+    if title:
+        parts.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    parts.append(header)
+    parts.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        parts.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(parts)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

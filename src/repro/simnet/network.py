@@ -1,0 +1,187 @@
+"""Simulated message network.
+
+Hosts register with the network under a unique address; sending a message
+schedules a delivery event after the link's sampled latency.  The network
+supports per-pair latency overrides, partitions and probabilistic drops,
+which the threat experiments use to model degraded federations.
+
+Messages are delivered by invoking ``host.receive(message)``; components
+subclass :class:`Host` (or compose one) and dispatch on ``message.kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.common.errors import NetworkError
+from repro.common.ids import new_id
+from repro.common.rng import SeededRng
+from repro.common.serialization import canonical_bytes
+from repro.simnet.latency import ConstantLatency, LatencyModel
+from repro.simnet.simulator import Simulator
+
+
+@dataclass
+class Message:
+    """An addressed datagram.  ``payload`` must be canonically serializable."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    msg_id: str = field(default_factory=lambda: new_id("msg"))
+    sent_at: float = 0.0
+
+    def size_bytes(self) -> int:
+        """Wire size estimate — canonical encoding length plus header."""
+        return len(canonical_bytes(self.payload)) + 64
+
+
+@dataclass
+class NetworkStats:
+    """Counters the benchmarks report alongside latency numbers."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    bytes_sent: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "bytes_sent": self.bytes_sent,
+        }
+
+
+class Host:
+    """A network endpoint.  Subclasses override :meth:`receive`."""
+
+    def __init__(self, network: "Network", address: str) -> None:
+        self.network = network
+        self.address = address
+        network.attach(self)
+
+    @property
+    def sim(self) -> Simulator:
+        return self.network.sim
+
+    def send(self, dst: str, kind: str, payload: Any) -> Optional[Message]:
+        """Send a message; returns it, or None if it was dropped/partitioned."""
+        return self.network.send(self.address, dst, kind, payload)
+
+    def receive(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError(f"{type(self).__name__} must implement receive()")
+
+
+class Network:
+    """The federation's message fabric.
+
+    ``default_latency`` applies unless a per-pair or per-host-prefix
+    override is installed with :meth:`set_latency`.  Partitions are
+    symmetric and dynamic: experiments heal or create them mid-run.
+    """
+
+    def __init__(self, sim: Simulator, rng: SeededRng,
+                 default_latency: LatencyModel | None = None) -> None:
+        self.sim = sim
+        self.rng = rng.fork("network")
+        self.default_latency = default_latency or ConstantLatency(0.001)
+        self.stats = NetworkStats()
+        self._hosts: dict[str, Host] = {}
+        self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
+        self._partitions: set[frozenset[str]] = set()
+        self._drop_rate = 0.0
+        self._taps: list[Callable[[Message], None]] = []
+
+    # -- topology management ---------------------------------------------------
+
+    def attach(self, host: Host) -> None:
+        if host.address in self._hosts:
+            raise NetworkError(f"address already in use: {host.address}")
+        self._hosts[host.address] = host
+
+    def detach(self, address: str) -> None:
+        self._hosts.pop(address, None)
+
+    def hosts(self) -> list[str]:
+        return sorted(self._hosts)
+
+    def set_latency(self, src: str, dst: str, model: LatencyModel,
+                    symmetric: bool = True) -> None:
+        """Override latency for the (src, dst) pair (and reverse if symmetric)."""
+        self._latency_overrides[(src, dst)] = model
+        if symmetric:
+            self._latency_overrides[(dst, src)] = model
+
+    def set_drop_rate(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate must be in [0,1], got {rate}")
+        self._drop_rate = rate
+
+    def partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Block all traffic between the two host groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.add(frozenset((a, b)))
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self._partitions.clear()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return frozenset((a, b)) in self._partitions
+
+    def add_tap(self, tap: Callable[[Message], None]) -> None:
+        """Install a wiretap invoked for every sent message (probes use this)."""
+        self._taps.append(tap)
+
+    # -- message transfer --------------------------------------------------------
+
+    def _latency_for(self, src: str, dst: str) -> LatencyModel:
+        return self._latency_overrides.get((src, dst), self.default_latency)
+
+    def send(self, src: str, dst: str, kind: str, payload: Any) -> Optional[Message]:
+        if src not in self._hosts:
+            raise NetworkError(f"unknown source host: {src}")
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          sent_at=self.sim.now)
+        self.stats.sent += 1
+        self.stats.bytes_sent += message.size_bytes()
+        for tap in self._taps:
+            tap(message)
+        if dst not in self._hosts:
+            self.stats.dropped += 1
+            return None
+        if self.is_partitioned(src, dst):
+            self.stats.dropped += 1
+            return None
+        if self._drop_rate > 0 and self.rng.random() < self._drop_rate:
+            self.stats.dropped += 1
+            return None
+        delay = self._latency_for(src, dst).sample(self.rng, message.size_bytes())
+
+        def deliver() -> None:
+            host = self._hosts.get(dst)
+            if host is None or self.is_partitioned(src, dst):
+                self.stats.dropped += 1
+                return
+            self.stats.delivered += 1
+            host.receive(message)
+
+        self.sim.schedule(delay, deliver, label=f"deliver:{kind}:{src}->{dst}")
+        return message
+
+    def broadcast(self, src: str, kind: str, payload: Any,
+                  exclude: set[str] | None = None) -> int:
+        """Send to every attached host except ``src`` and ``exclude``; returns count."""
+        skip = {src} | (exclude or set())
+        count = 0
+        for address in sorted(self._hosts):
+            if address in skip:
+                continue
+            self.send(src, address, kind, payload)
+            count += 1
+        return count

@@ -1,0 +1,34 @@
+"""Log storage backends: pure chain, classical DB, hybrid.
+
+The paper's Log Size discussion contrasts (a) storing logs directly on a
+private blockchain (integrity, but latency grows with log size and PoW
+weight) with (b) "a hybrid approach combining classical database with
+blockchain" ([9]) trading latency against integrity guarantees.  This
+package implements all three so experiment E5 can measure the trade-off:
+
+- :class:`PureChainStore` — every entry is an on-chain transaction;
+  durable once final; integrity window ≈ 0.
+- :class:`DatabaseStore` — a simulated classical DB; fast acknowledgement;
+  no tamper evidence at all.
+- :class:`HybridStore` — entries go to the DB immediately, Merkle roots
+  over batches are anchored on-chain every ``anchor_interval`` seconds;
+  tampering is detectable for all anchored entries, leaving an integrity
+  window equal to the anchoring period.
+- :class:`IntegrityAuditor` — verifies DB contents against the anchors
+  and quantifies what a tampering adversary could alter undetected.
+"""
+
+from repro.storage.database import DatabaseStore, DatabaseConfig
+from repro.storage.purechain import PureChainStore
+from repro.storage.hybrid import HybridStore, Anchor
+from repro.storage.auditor import IntegrityAuditor, AuditReport
+
+__all__ = [
+    "DatabaseStore",
+    "DatabaseConfig",
+    "PureChainStore",
+    "HybridStore",
+    "Anchor",
+    "IntegrityAuditor",
+    "AuditReport",
+]

@@ -1,0 +1,47 @@
+"""Threat models and attack injection.
+
+The paper motivates DRAMS with components that "are compromised so that
+access requests or responses are modified, or the policies and the
+evaluation process are altered".  This package implements those attacks —
+plus attacks on the monitoring itself (probe suppression, log tampering)
+and on the chain (history rewriting) — as injectable faults with declared
+*expected detections*, which is what the detection benchmarks score
+against.
+"""
+
+from repro.threats.attacks import (
+    Attack,
+    RequestTamperAttack,
+    DecisionTamperAttack,
+    CircumventionAttack,
+    EvaluationTamperAttack,
+    PolicySwapAttack,
+    ProbeSuppressionAttack,
+    LogTamperAttack,
+    ReplayAttack,
+    ATTACK_CATALOGUE,
+)
+from repro.threats.adversary import Adversary, AttackRecord
+from repro.threats.chain_attacks import (
+    nakamoto_success_probability,
+    simulate_rewrite_race,
+    RewriteRaceResult,
+)
+
+__all__ = [
+    "Attack",
+    "RequestTamperAttack",
+    "DecisionTamperAttack",
+    "CircumventionAttack",
+    "EvaluationTamperAttack",
+    "PolicySwapAttack",
+    "ProbeSuppressionAttack",
+    "LogTamperAttack",
+    "ReplayAttack",
+    "ATTACK_CATALOGUE",
+    "Adversary",
+    "AttackRecord",
+    "nakamoto_success_probability",
+    "simulate_rewrite_race",
+    "RewriteRaceResult",
+]

@@ -1,0 +1,129 @@
+"""Attacks on the blockchain layer itself.
+
+The paper's Log Size discussion warns that a private chain with
+"possibly lightweight PoW ... does not ensure strong integrity
+guarantees".  Experiment E4 quantifies that: an attacker controlling a
+fraction ``q`` of the federation's hashrate tries to rewrite a log entry
+buried ``z`` blocks deep by mining a private fork and overtaking the
+honest chain.
+
+Two models are provided and cross-validated:
+
+- :func:`nakamoto_success_probability` — the closed-form catch-up
+  probability from the Bitcoin whitepaper (gambler's-ruin analysis);
+- :func:`simulate_rewrite_race` — a Monte-Carlo race between two
+  exponential block-production processes, the same statistical model the
+  simulated miners use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.rng import SeededRng
+
+
+def nakamoto_success_probability(attacker_fraction: float, depth: int) -> float:
+    """Probability an attacker rewrites a block ``depth`` confirmations deep.
+
+    ``attacker_fraction`` is the attacker's share q of total hashrate.
+    Follows Nakamoto (2008), section 11: Poisson-weighted gambler's ruin.
+    """
+    if not 0.0 <= attacker_fraction <= 1.0:
+        raise ValidationError(f"attacker fraction must be in [0,1]: {attacker_fraction}")
+    if depth < 0:
+        raise ValidationError(f"depth must be >= 0: {depth}")
+    q = attacker_fraction
+    p = 1.0 - q
+    if q >= p:
+        return 1.0
+    if depth == 0:
+        return 1.0
+    lam = depth * (q / p)
+    total = 1.0
+    poisson = math.exp(-lam)
+    for k in range(depth + 1):
+        total -= poisson * (1.0 - (q / p) ** (depth - k))
+        poisson *= lam / (k + 1)
+    return max(0.0, min(1.0, total))
+
+
+@dataclass
+class RewriteRaceResult:
+    """Outcome of a Monte-Carlo rewrite experiment."""
+
+    attacker_fraction: float
+    depth: int
+    trials: int
+    successes: int
+    mean_race_blocks: float
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials if self.trials else 0.0
+
+
+def simulate_rewrite_race(rng: SeededRng, attacker_fraction: float, depth: int,
+                          trials: int = 1000, max_lead: int = 200) -> RewriteRaceResult:
+    """Monte-Carlo of the Nakamoto double-spend race.
+
+    Matches the whitepaper's model exactly, in two phases per trial:
+
+    1. *Head start*: the attacker mines privately from the moment the
+       target log entry is included; while the honest chain accumulates
+       ``depth`` confirmations the attacker wins each block with
+       probability ``q``.
+    2. *Catch-up*: gambler's ruin — the attacker keeps mining until either
+       its private fork overtakes the public chain (success) or falls
+       ``max_lead`` blocks behind (failure; the catch-up probability from
+       there is geometrically negligible).
+
+    Cross-validated against :func:`nakamoto_success_probability` in the
+    test suite and experiment E4.
+    """
+    if not 0.0 <= attacker_fraction <= 1.0:
+        raise ValidationError(f"attacker fraction must be in [0,1]: {attacker_fraction}")
+    if depth < 0 or trials <= 0:
+        raise ValidationError("depth must be >= 0 and trials > 0")
+    q = attacker_fraction
+    p = 1.0 - q
+    race_rng = rng.fork(f"rewrite-race/{q}/{depth}")
+    successes = 0
+    total_blocks = 0
+    lam = depth * (q / p) if p > 0 else float("inf")
+    for _ in range(trials):
+        blocks = 0
+        # Phase 1 (Nakamoto's assumption): honest blocks take their
+        # expected time, so the attacker's head start k is Poisson with
+        # mean depth*q/p.  Knuth's algorithm suffices for these lambdas.
+        if lam == float("inf"):
+            successes += 1
+            continue
+        threshold = math.exp(-lam)
+        k = 0
+        product = race_rng.random()
+        while product > threshold:
+            k += 1
+            product *= race_rng.random()
+        blocks += depth + k
+        # Phase 2: gambler's ruin from deficit depth-k; reaching a tie
+        # counts as catching up (the whitepaper's convention).
+        deficit = depth - k
+        while 0 < deficit <= max_lead:
+            blocks += 1
+            if race_rng.random() < q:
+                deficit -= 1
+            else:
+                deficit += 1
+        total_blocks += blocks
+        if deficit <= 0:
+            successes += 1
+    return RewriteRaceResult(
+        attacker_fraction=attacker_fraction,
+        depth=depth,
+        trials=trials,
+        successes=successes,
+        mean_race_blocks=total_blocks / trials,
+    )

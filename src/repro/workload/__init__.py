@@ -1,0 +1,24 @@
+"""Workload generation: subjects, resources, request streams, scenarios.
+
+The paper motivates cloud federations with partner organisations sharing
+data and services (the SUNFISH project's use cases are public-sector data
+sharing).  This package provides:
+
+- :mod:`repro.workload.generator` — seeded access-request generators with
+  Zipf-skewed subject/resource popularity and Poisson arrivals,
+- :mod:`repro.workload.scenarios` — two concrete federation scenarios
+  (cross-border healthcare; ministry data sharing), each with its policy
+  set, population and expected decision mix.
+"""
+
+from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
+from repro.workload.scenarios import Scenario, healthcare_scenario, ministry_scenario
+
+__all__ = [
+    "WorkloadConfig",
+    "RequestGenerator",
+    "GeneratedRequest",
+    "Scenario",
+    "healthcare_scenario",
+    "ministry_scenario",
+]

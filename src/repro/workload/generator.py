@@ -1,0 +1,115 @@
+"""Seeded request-stream generation.
+
+Produces the access attempts the experiments replay: a population of
+subjects with roles, a resource catalogue with types, and a stream of
+(subject, resource, action) triples with Zipf-skewed popularity and
+Poisson-process arrival times — the standard shape of access workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ValidationError
+from repro.common.rng import SeededRng
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the generated request stream."""
+
+    subjects: int = 50
+    resources: int = 200
+    roles: tuple[str, ...] = ("doctor", "nurse", "clerk")
+    role_weights: tuple[float, ...] = (0.3, 0.3, 0.4)
+    resource_types: tuple[str, ...] = ("medical-record", "lab-result")
+    actions: tuple[str, ...] = ("read", "write")
+    action_weights: tuple[float, ...] = (0.8, 0.2)
+    zipf_skew: float = 1.1
+    arrival_rate: float = 2.0  # requests per simulated second
+    payload_padding_bytes: int = 0  # inflate request size (log-size sweeps)
+
+    def __post_init__(self) -> None:
+        if self.subjects <= 0 or self.resources <= 0:
+            raise ValidationError("subjects and resources must be positive")
+        if len(self.roles) != len(self.role_weights):
+            raise ValidationError("roles and role_weights must align")
+        if len(self.actions) != len(self.action_weights):
+            raise ValidationError("actions and action_weights must align")
+        if self.arrival_rate <= 0:
+            raise ValidationError("arrival_rate must be positive")
+
+
+@dataclass
+class GeneratedRequest:
+    """One synthetic access attempt, ready for a PEP."""
+
+    subject: dict
+    resource: dict
+    action: dict
+    at: float
+    index: int
+
+
+class RequestGenerator:
+    """Draws subjects/resources/actions and arrival times from one seed."""
+
+    def __init__(self, config: WorkloadConfig, rng: SeededRng) -> None:
+        self.config = config
+        self.rng = rng.fork("workload")
+        self._subjects = [self._make_subject(i) for i in range(config.subjects)]
+        self._resources = [self._make_resource(i) for i in range(config.resources)]
+
+    def _weighted_choice(self, items: tuple[str, ...], weights: tuple[float, ...],
+                         rng: SeededRng) -> str:
+        total = sum(weights)
+        target = rng.random() * total
+        acc = 0.0
+        for item, weight in zip(items, weights):
+            acc += weight
+            if acc >= target:
+                return item
+        return items[-1]
+
+    def _make_subject(self, index: int) -> dict:
+        role = self._weighted_choice(self.config.roles, self.config.role_weights,
+                                     self.rng)
+        return {
+            "subject-id": f"subject-{index}",
+            "role": role,
+            "clearance": self.rng.randint(1, 5),
+        }
+
+    def _make_resource(self, index: int) -> dict:
+        resource_type = self.config.resource_types[
+            index % len(self.config.resource_types)]
+        return {
+            "resource-id": f"resource-{index}",
+            "type": resource_type,
+            "sensitivity": self.rng.randint(1, 5),
+        }
+
+    # -- stream --------------------------------------------------------------
+
+    def subjects(self) -> list[dict]:
+        return [dict(subject) for subject in self._subjects]
+
+    def resources(self) -> list[dict]:
+        return [dict(resource) for resource in self._resources]
+
+    def requests(self, count: int, start_at: float = 0.0) -> Iterator[GeneratedRequest]:
+        """Yield ``count`` requests with Poisson arrivals from ``start_at``."""
+        at = start_at
+        for index in range(count):
+            at += self.rng.expovariate(self.config.arrival_rate)
+            subject = dict(self.rng.choice(self._subjects))
+            resource = dict(self._resources[
+                self.rng.zipf_index(len(self._resources), self.config.zipf_skew)])
+            action = {"action-id": self._weighted_choice(
+                self.config.actions, self.config.action_weights, self.rng)}
+            if self.config.payload_padding_bytes > 0:
+                resource["padding"] = "x" * self.config.payload_padding_bytes
+            yield GeneratedRequest(
+                subject=subject, resource=resource, action=action,
+                at=at, index=index)

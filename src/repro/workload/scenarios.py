@@ -1,0 +1,211 @@
+"""Concrete federation scenarios with their policies.
+
+Two scenarios modelled on the SUNFISH project's public-sector use cases:
+
+- :func:`healthcare_scenario` — cross-border healthcare: hospitals in
+  different clouds share medical records; doctors read/write records of
+  their own tenant and read (not write) federated ones; nurses read
+  lab results; clerks get nothing clinical.
+- :func:`ministry_scenario` — ministry data sharing: finance and interior
+  ministries share tax documents; officers read documents up to their
+  clearance; auditors read everything during office hours; writes require
+  the owning tenant.
+
+Each scenario packages the policy (object + document form), a workload
+configuration matched to its population, and the attribute domains used by
+the formal property checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.properties import AttributeDomain
+from repro.xacml.attributes import DataType
+from repro.xacml.context import Obligation
+from repro.xacml.expressions import Apply, AttributeDesignator, Literal
+from repro.xacml.parser import policy_to_dict
+from repro.xacml.policy import Effect, Policy, PolicySet, Rule, Target
+from repro.workload.generator import WorkloadConfig
+
+
+@dataclass
+class Scenario:
+    """A ready-to-run federation scenario."""
+
+    name: str
+    policy_document: dict
+    workload: WorkloadConfig
+    domain: AttributeDomain
+    description: str = ""
+
+
+def _designator(category: str, attribute_id: str,
+                data_type: str = DataType.STRING) -> AttributeDesignator:
+    return AttributeDesignator(category, attribute_id, data_type)
+
+
+def healthcare_scenario() -> Scenario:
+    """Cross-border healthcare data sharing."""
+    doctor = Target.single("string-equal", "doctor", "subject", "role")
+    nurse = Target.single("string-equal", "nurse", "subject", "role")
+
+    records_policy = Policy(
+        policy_id="medical-records",
+        # First-applicable: the home-write permit must take precedence
+        # over the blanket clinical-write denial below it.
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "medical-record", "resource", "type"),
+        rules=[
+            Rule("doctor-read", Effect.PERMIT,
+                 target=doctor,
+                 condition=Apply("any-of", (
+                     Literal("string-equal"), Literal("read"),
+                     _designator("action", "action-id")))),
+            Rule("doctor-write-own-tenant", Effect.PERMIT,
+                 target=doctor,
+                 condition=Apply("and", (
+                     Apply("any-of", (Literal("string-equal"), Literal("write"),
+                                      _designator("action", "action-id"))),
+                     Apply("any-of-any", (Literal("string-equal"),
+                                          _designator("environment", "origin-tenant"),
+                                          _designator("resource", "owner-tenant"))),
+                 ))),
+            Rule("deny-clinical-writes", Effect.DENY,
+                 condition=Apply("any-of", (
+                     Literal("string-equal"), Literal("write"),
+                     _designator("action", "action-id")))),
+        ],
+        obligations=[Obligation("log-clinical-access", "Permit",
+                                {"reason": "GDPR art. 9 processing record"})],
+        description="Doctors read federation-wide, write only at home.",
+    )
+
+    labs_policy = Policy(
+        policy_id="lab-results",
+        rule_combining="permit-overrides",
+        target=Target.single("string-equal", "lab-result", "resource", "type"),
+        rules=[
+            Rule("clinicians-read", Effect.PERMIT,
+                 target=Target(any_ofs=(
+                     doctor.any_ofs + nurse.any_ofs)),
+                 condition=Apply("any-of", (
+                     Literal("string-equal"), Literal("read"),
+                     _designator("action", "action-id")))),
+        ],
+        description="Doctors and nurses read lab results.",
+    )
+
+    root = PolicySet(
+        policy_set_id="healthcare-federation",
+        policy_combining="deny-unless-permit",
+        children=[records_policy, labs_policy],
+        description="Top-level: everything not explicitly permitted is denied.",
+    )
+
+    domain = AttributeDomain()
+    domain.declare("subject", "role", ["doctor", "nurse", "clerk"])
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", ["medical-record", "lab-result"])
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=60,
+        resources=300,
+        roles=("doctor", "nurse", "clerk"),
+        role_weights=(0.35, 0.35, 0.30),
+        resource_types=("medical-record", "lab-result"),
+        actions=("read", "write"),
+        action_weights=(0.85, 0.15),
+    )
+    return Scenario(
+        name="healthcare",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="Hospitals in two clouds share records and lab results.",
+    )
+
+
+def ministry_scenario() -> Scenario:
+    """Ministry-to-ministry document sharing."""
+    officer = Target.single("string-equal", "officer", "subject", "role")
+    auditor = Target.single("string-equal", "auditor", "subject", "role")
+
+    documents_policy = Policy(
+        policy_id="tax-documents",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "tax-document", "resource", "type"),
+        rules=[
+            Rule("officer-clearance-read", Effect.PERMIT,
+                 target=officer,
+                 condition=Apply("and", (
+                     Apply("any-of", (Literal("string-equal"), Literal("read"),
+                                      _designator("action", "action-id"))),
+                     Apply("integer-greater-than-or-equal", (
+                         Apply("one-and-only", (
+                             _designator("subject", "clearance", DataType.INTEGER),)),
+                         Apply("one-and-only", (
+                             _designator("resource", "sensitivity", DataType.INTEGER),)),
+                     )),
+                 ))),
+            Rule("auditor-office-hours", Effect.PERMIT,
+                 target=auditor,
+                 condition=Apply("and", (
+                     Apply("any-of", (Literal("string-equal"), Literal("read"),
+                                      _designator("action", "action-id"))),
+                     Apply("time-in-range", (
+                         Apply("one-and-only", (
+                             _designator("environment", "time-of-day", DataType.DOUBLE),)),
+                         Literal(9.0 * 3600), Literal(17.0 * 3600))),
+                 ))),
+            Rule("owner-tenant-write", Effect.PERMIT,
+                 target=officer,
+                 condition=Apply("and", (
+                     Apply("any-of", (Literal("string-equal"), Literal("write"),
+                                      _designator("action", "action-id"))),
+                     Apply("any-of-any", (Literal("string-equal"),
+                                          _designator("environment", "origin-tenant"),
+                                          _designator("resource", "owner-tenant"))),
+                 ))),
+            Rule("default-deny", Effect.DENY),
+        ],
+        obligations=[Obligation("notify-owner", "Permit",
+                                {"channel": "audit-queue"})],
+        description="Clearance-gated reads, office-hour audits, home writes.",
+    )
+
+    root = PolicySet(
+        policy_set_id="ministry-federation",
+        policy_combining="deny-unless-permit",
+        children=[documents_policy],
+        description="Single-document-class ministry sharing.",
+    )
+
+    domain = AttributeDomain()
+    domain.declare("subject", "role", ["officer", "auditor", "intern"])
+    domain.declare("subject", "clearance", [1, 3, 5])
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", ["tax-document"])
+    domain.declare("resource", "sensitivity", [1, 3, 5])
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "time-of-day", [8.0 * 3600, 12.0 * 3600, 20.0 * 3600])
+
+    workload = WorkloadConfig(
+        subjects=40,
+        resources=150,
+        roles=("officer", "auditor", "intern"),
+        role_weights=(0.5, 0.2, 0.3),
+        resource_types=("tax-document",),
+        actions=("read", "write"),
+        action_weights=(0.7, 0.3),
+    )
+    return Scenario(
+        name="ministry",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="Finance and interior ministries share tax documents.",
+    )

@@ -1,0 +1,163 @@
+"""Combining algorithms (XACML 3.0 semantics, extended indeterminates).
+
+Both rule- and policy-combining use the same decision algebra, so each
+algorithm is written once over lists of :class:`Decision` values and
+registered in both tables (except only-one-applicable, which is
+policy-level only).
+
+The implementations follow the normative pseudo-code of the XACML 3.0
+specification, including the Indeterminate{D}/{P}/{DP} refinements — the
+formal analyser replays these same rules symbolically, so fidelity here is
+what makes decision-correctness checking meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.xacml.context import Decision
+
+Combiner = Callable[[Sequence[Decision]], Decision]
+
+
+def deny_overrides(decisions: Sequence[Decision]) -> Decision:
+    """Deny wins; errors that could have denied taint the result."""
+    saw_permit = False
+    saw_ind_d = False
+    saw_ind_p = False
+    saw_ind_dp = False
+    for decision in decisions:
+        if decision is Decision.DENY:
+            return Decision.DENY
+        if decision is Decision.PERMIT:
+            saw_permit = True
+        elif decision is Decision.INDETERMINATE_D:
+            saw_ind_d = True
+        elif decision is Decision.INDETERMINATE_P:
+            saw_ind_p = True
+        elif decision in (Decision.INDETERMINATE_DP, Decision.INDETERMINATE):
+            saw_ind_dp = True
+    if saw_ind_dp:
+        return Decision.INDETERMINATE_DP
+    if saw_ind_d and (saw_ind_p or saw_permit):
+        return Decision.INDETERMINATE_DP
+    if saw_ind_d:
+        return Decision.INDETERMINATE_D
+    if saw_permit:
+        return Decision.PERMIT
+    if saw_ind_p:
+        return Decision.INDETERMINATE_P
+    return Decision.NOT_APPLICABLE
+
+
+def permit_overrides(decisions: Sequence[Decision]) -> Decision:
+    """Permit wins; errors that could have permitted taint the result."""
+    saw_deny = False
+    saw_ind_d = False
+    saw_ind_p = False
+    saw_ind_dp = False
+    for decision in decisions:
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT
+        if decision is Decision.DENY:
+            saw_deny = True
+        elif decision is Decision.INDETERMINATE_D:
+            saw_ind_d = True
+        elif decision is Decision.INDETERMINATE_P:
+            saw_ind_p = True
+        elif decision in (Decision.INDETERMINATE_DP, Decision.INDETERMINATE):
+            saw_ind_dp = True
+    if saw_ind_dp:
+        return Decision.INDETERMINATE_DP
+    if saw_ind_p and (saw_ind_d or saw_deny):
+        return Decision.INDETERMINATE_DP
+    if saw_ind_p:
+        return Decision.INDETERMINATE_P
+    if saw_deny:
+        return Decision.DENY
+    if saw_ind_d:
+        return Decision.INDETERMINATE_D
+    return Decision.NOT_APPLICABLE
+
+
+def first_applicable(decisions: Sequence[Decision]) -> Decision:
+    """First child that is not NotApplicable decides."""
+    for decision in decisions:
+        if decision is Decision.NOT_APPLICABLE:
+            continue
+        if decision.is_indeterminate():
+            return Decision.INDETERMINATE
+        return decision
+    return Decision.NOT_APPLICABLE
+
+
+def only_one_applicable(decisions: Sequence[Decision]) -> Decision:
+    """Exactly one child may be applicable, else Indeterminate.
+
+    Approximation note: the normative algorithm inspects target
+    applicability rather than evaluated decisions; treating NotApplicable
+    children as inapplicable and everything else as applicable is the
+    standard engine-level simplification (Indeterminate children make the
+    result Indeterminate either way).
+    """
+    applicable: list[Decision] = []
+    for decision in decisions:
+        if decision is Decision.NOT_APPLICABLE:
+            continue
+        if decision.is_indeterminate():
+            return Decision.INDETERMINATE
+        applicable.append(decision)
+        if len(applicable) > 1:
+            return Decision.INDETERMINATE
+    if not applicable:
+        return Decision.NOT_APPLICABLE
+    return applicable[0]
+
+
+def deny_unless_permit(decisions: Sequence[Decision]) -> Decision:
+    """Never NotApplicable/Indeterminate: Permit if any child permits."""
+    for decision in decisions:
+        if decision is Decision.PERMIT:
+            return Decision.PERMIT
+    return Decision.DENY
+
+
+def permit_unless_deny(decisions: Sequence[Decision]) -> Decision:
+    """Never NotApplicable/Indeterminate: Deny if any child denies."""
+    for decision in decisions:
+        if decision is Decision.DENY:
+            return Decision.DENY
+    return Decision.PERMIT
+
+
+def adjust_for_target(combined: Decision) -> Decision:
+    """Refine a combined decision when the enclosing target was Indeterminate.
+
+    Per XACML 3.0: the element becomes Indeterminate with the potential of
+    whatever the children could have produced.
+    """
+    if combined is Decision.PERMIT:
+        return Decision.INDETERMINATE_P
+    if combined is Decision.DENY:
+        return Decision.INDETERMINATE_D
+    if combined is Decision.NOT_APPLICABLE:
+        return Decision.NOT_APPLICABLE
+    return combined
+
+
+RULE_COMBINING: dict[str, Combiner] = {
+    "deny-overrides": deny_overrides,
+    "permit-overrides": permit_overrides,
+    "first-applicable": first_applicable,
+    "deny-unless-permit": deny_unless_permit,
+    "permit-unless-deny": permit_unless_deny,
+}
+
+POLICY_COMBINING: dict[str, Combiner] = {
+    "deny-overrides": deny_overrides,
+    "permit-overrides": permit_overrides,
+    "first-applicable": first_applicable,
+    "only-one-applicable": only_one_applicable,
+    "deny-unless-permit": deny_unless_permit,
+    "permit-unless-deny": permit_unless_deny,
+}

@@ -1,0 +1,155 @@
+"""Finite-domain policy verification: completeness, conflicts, change impact."""
+
+import pytest
+
+from repro.analysis.properties import (
+    AttributeDomain,
+    change_impact,
+    check_completeness,
+    enumerate_requests,
+    find_conflicts,
+)
+from repro.common.errors import ValidationError
+from repro.xacml.parser import policy_to_dict
+from repro.xacml.policy import Effect, Policy, PolicySet, Rule, Target
+
+
+def simple_domain() -> AttributeDomain:
+    domain = AttributeDomain()
+    domain.declare("subject", "role", ["doctor", "nurse"])
+    domain.declare("action", "action-id", ["read", "write"])
+    return domain
+
+
+def permit_doctors_policy() -> dict:
+    return policy_to_dict(Policy(
+        policy_id="p", rule_combining="first-applicable",
+        rules=[Rule("allow-doctors", Effect.PERMIT,
+                    target=Target.single("string-equal", "doctor",
+                                         "subject", "role"))]))
+
+
+def total_policy() -> dict:
+    return policy_to_dict(Policy(
+        policy_id="p", rule_combining="first-applicable",
+        rules=[Rule("allow-doctors", Effect.PERMIT,
+                    target=Target.single("string-equal", "doctor",
+                                         "subject", "role")),
+               Rule("default-deny", Effect.DENY)]))
+
+
+class TestDomain:
+    def test_size_is_product(self):
+        assert simple_domain().size() == 4
+
+    def test_empty_domain_size_is_one(self):
+        assert AttributeDomain().size() == 1
+
+    def test_declare_rejects_empty_values(self):
+        with pytest.raises(ValidationError):
+            AttributeDomain().declare("subject", "role", [])
+
+    def test_enumerate_covers_product(self):
+        requests = list(enumerate_requests(simple_domain()))
+        assert len(requests) == 4
+        roles = {req["subject"]["role"][0] for req in requests}
+        assert roles == {"doctor", "nurse"}
+
+
+class TestCompleteness:
+    def test_gap_detected(self):
+        report = check_completeness(permit_doctors_policy(), simple_domain())
+        assert not report.holds
+        assert report.checked == 4
+        assert any(cex["decision"] == "NotApplicable"
+                   for cex in report.counterexamples)
+
+    def test_total_policy_is_complete(self):
+        report = check_completeness(total_policy(), simple_domain())
+        assert report.holds
+        assert report.exhaustive
+        assert report.counterexamples == []
+
+    def test_summary_mentions_verdict(self):
+        report = check_completeness(total_policy(), simple_domain())
+        assert "HOLDS" in report.summary()
+
+    def test_sampling_kicks_in_for_large_domains(self):
+        domain = simple_domain()
+        domain.declare("resource", "resource-id",
+                       [f"r{i}" for i in range(200)])
+        domain.declare("resource", "tag", [f"t{i}" for i in range(200)])
+        report = check_completeness(total_policy(), domain,
+                                    max_exhaustive=1000, sample_size=500)
+        assert not report.exhaustive
+        assert report.checked == 500
+
+
+class TestConflicts:
+    def test_opposite_rules_conflict(self):
+        policy = policy_to_dict(Policy(
+            policy_id="p", rule_combining="deny-overrides",
+            rules=[
+                Rule("allow-read", Effect.PERMIT,
+                     target=Target.single("string-equal", "read",
+                                          "action", "action-id")),
+                Rule("deny-doctors", Effect.DENY,
+                     target=Target.single("string-equal", "doctor",
+                                          "subject", "role")),
+            ]))
+        report = find_conflicts(policy, simple_domain())
+        assert not report.holds
+        sample = report.counterexamples[0]
+        assert sample["permit_rules"] == ["allow-read"]
+        assert sample["deny_rules"] == ["deny-doctors"]
+
+    def test_disjoint_rules_do_not_conflict(self):
+        report = find_conflicts(total_policy(), simple_domain())
+        # default-deny applies everywhere, allow-doctors only to doctors:
+        # they do conflict on doctor requests under this definition.
+        assert not report.holds
+        policy = policy_to_dict(Policy(
+            policy_id="p", rule_combining="first-applicable",
+            rules=[
+                Rule("allow-doctors", Effect.PERMIT,
+                     target=Target.single("string-equal", "doctor",
+                                          "subject", "role")),
+                Rule("deny-nurses", Effect.DENY,
+                     target=Target.single("string-equal", "nurse",
+                                          "subject", "role")),
+            ]))
+        assert find_conflicts(policy, simple_domain()).holds
+
+    def test_conflicts_scan_nested_sets(self):
+        root = policy_to_dict(PolicySet(
+            policy_set_id="root", policy_combining="deny-overrides",
+            children=[
+                Policy(policy_id="inner", rule_combining="deny-overrides",
+                       rules=[Rule("p1", Effect.PERMIT),
+                              Rule("d1", Effect.DENY)]),
+            ]))
+        report = find_conflicts(root, simple_domain())
+        assert not report.holds
+        assert report.counterexamples[0]["policy_id"] == "inner"
+
+
+class TestChangeImpact:
+    def test_identical_versions_have_no_impact(self):
+        report = change_impact(total_policy(), total_policy(), simple_domain())
+        assert report.holds
+
+    def test_changed_rule_is_localised(self):
+        old = total_policy()
+        new = policy_to_dict(Policy(
+            policy_id="p", rule_combining="first-applicable",
+            rules=[Rule("allow-nobody", Effect.DENY)]))
+        report = change_impact(old, new, simple_domain())
+        assert not report.holds
+        # Only doctor requests change (Permit -> Deny).
+        for cex in report.counterexamples:
+            assert cex["request"]["subject"]["role"] == ["doctor"]
+            assert cex["old"] == "Permit" and cex["new"] == "Deny"
+
+    def test_impact_counts_all_checked(self):
+        report = change_impact(total_policy(), total_policy(), simple_domain())
+        assert report.checked == simple_domain().size()

@@ -1,0 +1,204 @@
+"""Direct unit tests for the document-level semantics (the Analyser's oracle).
+
+The differential suite pins oracle and PDP to each other; these tests pin
+the oracle to *the spec* independently, so a correlated bug in both
+engines would still have to get past here.
+"""
+
+import pytest
+
+from repro.analysis.semantics import (
+    DecisionOracle,
+    _Error,
+    _eval_expression,
+    _eval_rule,
+    _eval_target,
+    _interp_function,
+    evaluate_document,
+)
+from repro.common.errors import PolicyError
+
+
+class TestFunctionInterpretations:
+    def test_equality_family(self):
+        assert _interp_function("string-equal", ["a", "a"]) is True
+        assert _interp_function("integer-equal", [1, 2]) is False
+        assert _interp_function("boolean-equal", [True, True]) is True
+
+    def test_greater_or_equal_is_not_equality(self):
+        # Regression: "-equal" suffix matching must not capture comparisons.
+        assert _interp_function("integer-greater-than-or-equal", [3, 1]) is True
+        assert _interp_function("integer-less-than-or-equal", [1, 3]) is True
+
+    def test_comparisons(self):
+        assert _interp_function("integer-greater-than", [3, 2]) is True
+        assert _interp_function("integer-less-than", [3, 2]) is False
+        assert _interp_function("time-in-range", [10.0, 5.0, 15.0]) is True
+
+    def test_arithmetic(self):
+        assert _interp_function("integer-add", [1, 2, 3]) == 6
+        assert _interp_function("integer-subtract", [5, 2]) == 3
+        assert _interp_function("integer-multiply", [2, 3, 4]) == 24
+        assert _interp_function("integer-mod", [7, 3]) == 1
+        assert _interp_function("integer-abs", [-4]) == 4
+        assert _interp_function("double-add", [0.5, 0.25]) == 0.75
+
+    def test_booleans(self):
+        assert _interp_function("and", [True, True]) is True
+        assert _interp_function("or", [False, True]) is True
+        assert _interp_function("not", [False]) is True
+        assert _interp_function("n-of", [2, True, True, False]) is True
+
+    def test_strings(self):
+        assert _interp_function("string-concatenate", ["a", "b"]) == "ab"
+        assert _interp_function("string-starts-with", ["me", "med"]) is True
+        assert _interp_function("string-ends-with", ["ed", "med"]) is True
+        assert _interp_function("string-contains", ["e", "med"]) is True
+        assert _interp_function("string-regexp-match", ["^m", "med"]) is True
+        assert _interp_function("string-normalize-to-lower-case", ["AB"]) == "ab"
+
+    def test_bags(self):
+        assert _interp_function("one-and-only", [["x"]]) == "x"
+        assert _interp_function("bag-size", [[1, 2, 3]]) == 3
+        assert _interp_function("is-in", ["a", ["a", "b"]]) is True
+        assert _interp_function("bag", [1, 2]) == [1, 2]
+        assert _interp_function("intersection", [[1, 2], [2, 3]]) == [2]
+        assert sorted(_interp_function("union", [[1], [2, 1]])) == [1, 2]
+        assert _interp_function("at-least-one-member-of", [[1], [1, 2]]) is True
+        assert _interp_function("subset", [[1], [1, 2]]) is True
+
+    def test_one_and_only_errors(self):
+        with pytest.raises(_Error):
+            _interp_function("one-and-only", [[]])
+        with pytest.raises(_Error):
+            _interp_function("one-and-only", [[1, 2]])
+
+    def test_type_errors_raise(self):
+        with pytest.raises(_Error):
+            _interp_function("integer-greater-than", ["a", 1])
+        with pytest.raises(_Error):
+            _interp_function("and", [1])
+        with pytest.raises(_Error):
+            _interp_function("string-contains", [1, "x"])
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(_Error):
+            _interp_function("frobnicate", [])
+
+    def test_arity_errors(self):
+        with pytest.raises(_Error):
+            _interp_function("string-equal", ["a"])
+        with pytest.raises(_Error):
+            _interp_function("n-of", [])
+
+
+class TestExpressionEvaluation:
+    REQUEST = {"subject": {"role": ["doctor", "nurse"], "clearance": [3]},
+               "action": {"action-id": ["read"]}}
+
+    def test_literal(self):
+        assert _eval_expression({"literal": 5}, self.REQUEST) == 5
+
+    def test_designator_returns_bag(self):
+        expr = {"designator": {"category": "subject", "attribute_id": "role"}}
+        assert sorted(_eval_expression(expr, self.REQUEST)) == ["doctor", "nurse"]
+
+    def test_missing_attribute_empty_bag(self):
+        expr = {"designator": {"category": "subject", "attribute_id": "ghost"}}
+        assert _eval_expression(expr, self.REQUEST) == []
+
+    def test_must_be_present_raises(self):
+        expr = {"designator": {"category": "subject", "attribute_id": "ghost",
+                               "must_be_present": True}}
+        with pytest.raises(_Error):
+            _eval_expression(expr, self.REQUEST)
+
+    def test_higher_order_any_of(self):
+        expr = {"apply": "any-of", "arguments": [
+            {"literal": "string-equal"},
+            {"literal": "doctor"},
+            {"designator": {"category": "subject", "attribute_id": "role"}}]}
+        assert _eval_expression(expr, self.REQUEST) is True
+
+    def test_higher_order_all_of(self):
+        expr = {"apply": "all-of", "arguments": [
+            {"literal": "string-starts-with"},
+            {"literal": ""},
+            {"designator": {"category": "subject", "attribute_id": "role"}}]}
+        assert _eval_expression(expr, self.REQUEST) is True
+
+    def test_any_of_any(self):
+        expr = {"apply": "any-of-any", "arguments": [
+            {"literal": "string-equal"},
+            {"designator": {"category": "subject", "attribute_id": "role"}},
+            {"apply": "bag", "arguments": [{"literal": "nurse"}]}]}
+        assert _eval_expression(expr, self.REQUEST) is True
+
+    def test_unrecognised_node_raises(self):
+        with pytest.raises(_Error):
+            _eval_expression({"mystery": 1}, self.REQUEST)
+
+
+class TestTargetSemantics:
+    def match(self, value, attribute="role"):
+        return {"function": "string-equal", "value": value,
+                "category": "subject", "attribute_id": attribute}
+
+    def test_empty_target_is_true(self):
+        assert _eval_target(None, {}) == "T"
+        assert _eval_target([], {}) == "T"
+
+    def test_disjunction_of_conjunction(self):
+        request = {"subject": {"role": ["doctor"]}}
+        target = [[[self.match("admin")], [self.match("doctor")]]]
+        assert _eval_target(target, request) == "T"
+
+    def test_conjunction_fails_on_one_false(self):
+        request = {"subject": {"role": ["doctor"]}}
+        target = [[[self.match("doctor"), self.match("admin")]]]
+        assert _eval_target(target, request) == "F"
+
+    def test_error_propagates_as_E(self):
+        request = {"subject": {"role": ["doctor"]}}
+        bad = {"function": "integer-greater-than", "value": 3,
+               "category": "subject", "attribute_id": "role"}
+        assert _eval_target([[[bad]]], request) == "E"
+
+
+class TestRuleAndDocument:
+    def test_rule_effect_indeterminate_on_condition_error(self):
+        rule = {"rule_id": "r", "effect": "Permit", "target": None,
+                "condition": {"apply": "one-and-only", "arguments": [
+                    {"designator": {"category": "subject",
+                                    "attribute_id": "ghost",
+                                    "must_be_present": True}}]}}
+        assert _eval_rule(rule, {}) == "Indeterminate{P}"
+
+    def test_document_collapses_indeterminates(self):
+        document = {"kind": "policy", "policy_id": "p",
+                    "rule_combining": "deny-overrides",
+                    "rules": [{"rule_id": "r", "effect": "Deny", "target": None,
+                               "condition": {"apply": "one-and-only",
+                                             "arguments": [{"designator": {
+                                                 "category": "subject",
+                                                 "attribute_id": "ghost",
+                                                 "must_be_present": True}}]}}]}
+        assert evaluate_document(document, {}) == "Indeterminate"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(PolicyError):
+            evaluate_document({"kind": "wizard"}, {})
+
+    def test_oracle_counts_checks(self):
+        document = {"kind": "policy", "policy_id": "p",
+                    "rule_combining": "permit-overrides",
+                    "rules": [{"rule_id": "r", "effect": "Permit",
+                               "target": None, "condition": None}]}
+        oracle = DecisionOracle(document)
+        oracle.expected_decision({})
+        oracle.expected_decision({})
+        assert oracle.checks == 2
+
+    def test_oracle_rejects_non_policy(self):
+        with pytest.raises(PolicyError):
+            DecisionOracle({"kind": "request"})

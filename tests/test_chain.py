@@ -1,0 +1,331 @@
+"""Chain validation, fork choice, state replay, difficulty schedule."""
+
+import pytest
+
+from repro.blockchain.chain import Blockchain, ChainValidationError
+from repro.blockchain.config import BlockchainConfig
+from repro.blockchain.contracts import ContractRegistry, KeyValueContract
+from repro.blockchain.transaction import Transaction
+from repro.crypto.signatures import SigningKey
+
+MINER = "miner-1"
+CLIENT = "client-1"
+
+MINER_KEY = SigningKey.generate(MINER.encode())
+CLIENT_KEY = SigningKey.generate(CLIENT.encode())
+KEYS = {MINER: MINER_KEY.public, CLIENT: CLIENT_KEY.public}
+
+
+def lookup(name):
+    return KEYS.get(name)
+
+
+def make_chain(**config_overrides) -> Blockchain:
+    registry = ContractRegistry()
+    registry.deploy(KeyValueContract())
+    defaults = dict(chain_id="t", difficulty_bits=8.0, target_block_interval=1.0,
+                    retarget_window=0, pow_mode="simulated", confirmations=2)
+    defaults.update(config_overrides)
+    return Blockchain(BlockchainConfig(**defaults), registry, key_lookup=lookup)
+
+
+def put_tx(seq, key="k", value=1) -> Transaction:
+    return Transaction(sender=CLIENT, contract="kvstore", method="put",
+                       args={"key": key, "value": value}, seq=seq).sign(CLIENT_KEY)
+
+
+def extend(chain, txs=(), timestamp=None) -> object:
+    block = chain.create_block(MINER, list(txs),
+                               timestamp=timestamp if timestamp is not None
+                               else chain.head.header.timestamp + 1.0,
+                               signing_key=MINER_KEY)
+    chain.add_block(block)
+    return block
+
+
+class TestBasicGrowth:
+    def test_genesis_exists(self):
+        chain = make_chain()
+        assert chain.height == 0
+        assert chain.block_count() == 1
+
+    def test_blocks_extend_head(self):
+        chain = make_chain()
+        extend(chain)
+        extend(chain)
+        assert chain.height == 2
+
+    def test_transactions_apply_to_state(self):
+        chain = make_chain()
+        extend(chain, [put_tx(1, "a", 10)])
+        assert chain.state_of("kvstore")["data"] == {"a": 10}
+
+    def test_tx_location_and_confirmations(self):
+        chain = make_chain(confirmations=2)
+        tx = put_tx(1)
+        extend(chain, [tx])
+        location = chain.tx_location(tx.tx_id)
+        assert location is not None and location.height == 1
+        assert chain.confirmations(tx.tx_id) == 1
+        assert not chain.is_final(tx.tx_id)
+        extend(chain)
+        assert chain.confirmations(tx.tx_id) == 2
+        assert chain.is_final(tx.tx_id)
+
+    def test_duplicate_block_is_noop(self):
+        chain = make_chain()
+        block = extend(chain)
+        assert chain.add_block(block) is False
+
+
+class TestValidation:
+    def test_unknown_parent_rejected(self):
+        chain = make_chain()
+        block = chain.create_block(MINER, [], 1.0, signing_key=MINER_KEY)
+        block.header.prev_hash = "ff" * 32
+        block.header.merkle_root = block.compute_merkle_root()
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_wrong_merkle_root_rejected(self):
+        chain = make_chain()
+        block = chain.create_block(MINER, [put_tx(1)], 1.0, signing_key=MINER_KEY)
+        block.transactions = []
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_decreasing_timestamp_rejected(self):
+        chain = make_chain()
+        extend(chain, timestamp=10.0)
+        block = chain.create_block(MINER, [], timestamp=5.0, signing_key=MINER_KEY)
+        block.header.timestamp = 5.0  # create_block clamps; force violation
+        block.header.merkle_root = block.compute_merkle_root()
+        block.sign(MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_unknown_sender_rejected(self):
+        chain = make_chain()
+        rogue_key = SigningKey.generate(b"rogue")
+        tx = Transaction(sender="rogue", contract="kvstore", method="put",
+                         args={"key": "a", "value": 1}, seq=1).sign(rogue_key)
+        block = chain.create_block(MINER, [tx], 1.0, signing_key=MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_bad_tx_signature_rejected(self):
+        chain = make_chain()
+        tx = put_tx(1)
+        tx.args["value"] = 999  # invalidate signature
+        block = chain.create_block(MINER, [tx], 1.0, signing_key=MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_unsigned_miner_rejected(self):
+        chain = make_chain()
+        block = chain.create_block(MINER, [], 1.0, signing_key=None)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_duplicate_tx_in_block_rejected(self):
+        chain = make_chain()
+        tx = put_tx(1)
+        block = chain.create_block(MINER, [tx, tx], 1.0, signing_key=MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_too_many_txs_rejected(self):
+        chain = make_chain(max_block_txs=1)
+        txs = [put_tx(1, "a"), put_tx(2, "b")]
+        block = chain.create_block(MINER, txs, 1.0, signing_key=MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_oversized_body_rejected(self):
+        chain = make_chain(max_block_bytes=100)
+        block = chain.create_block(MINER, [put_tx(1, "k", "x" * 500)], 1.0,
+                                   signing_key=MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+    def test_rejected_blocks_counted(self):
+        chain = make_chain()
+        block = chain.create_block(MINER, [], 1.0)  # unsigned
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+        assert chain.rejected_blocks == 1
+
+    def test_real_pow_mode_checks_hash(self):
+        chain = make_chain(pow_mode="real", difficulty_bits=8.0)
+        block = chain.create_block(MINER, [], 1.0, signing_key=MINER_KEY)
+        assert chain.add_block(block)  # ground nonce passes
+        bad = chain.create_block(MINER, [], 2.0, signing_key=MINER_KEY)
+        bad.header.nonce = 0
+        while int(bad.hash, 16) < (1 << 248):
+            bad.header.nonce += 1  # find a nonce that fails the target
+        bad.sign(MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(bad)
+
+
+class TestReplayProtection:
+    def test_same_seq_applied_once(self):
+        chain = make_chain()
+        extend(chain, [put_tx(1, "a", 1)])
+        # A different tx with the same seq is skipped at application time.
+        duplicate_seq = put_tx(1, "b", 2)
+        extend(chain, [duplicate_seq])
+        assert "b" not in chain.state_of("kvstore")["data"]
+
+    def test_included_tx_not_revalidated(self):
+        chain = make_chain()
+        tx = put_tx(1)
+        extend(chain, [tx])
+        assert not chain.validate_transaction(tx)
+
+    def test_out_of_order_seqs_all_apply(self):
+        chain = make_chain()
+        extend(chain, [put_tx(5, "e", 5)])
+        extend(chain, [put_tx(2, "b", 2)])
+        data = chain.state_of("kvstore")["data"]
+        assert data == {"e": 5, "b": 2}
+
+
+class TestForkChoice:
+    def fork(self, chain, parent, txs=(), timestamp=None, miner=MINER):
+        """Build a block on an arbitrary parent (not just the head)."""
+        from repro.blockchain.block import Block, BlockHeader
+
+        header = BlockHeader(
+            height=parent.height + 1,
+            prev_hash=parent.hash,
+            merkle_root="",
+            timestamp=timestamp if timestamp is not None
+            else parent.header.timestamp + 1.0,
+            difficulty_bits=chain.expected_difficulty(parent.hash),
+            miner=miner,
+        )
+        block = Block(header=header, transactions=list(txs))
+        header.merkle_root = block.compute_merkle_root()
+        block.sign(MINER_KEY)
+        return block
+
+    def test_longer_branch_wins(self):
+        chain = make_chain()
+        genesis = chain.head
+        a1 = self.fork(chain, genesis)
+        chain.add_block(a1)
+        b1 = self.fork(chain, genesis, timestamp=1.5)
+        chain.add_block(b1)
+        assert chain.head.hash == min(a1.hash, b1.hash)  # tie → lowest hash
+        b2 = self.fork(chain, b1)
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+
+    def test_reorg_replays_state(self):
+        chain = make_chain()
+        genesis = chain.head
+        a1 = self.fork(chain, genesis, txs=[put_tx(1, "a", 1)])
+        chain.add_block(a1)
+        assert chain.state_of("kvstore")["data"] == {"a": 1}
+        b1 = self.fork(chain, genesis, txs=[put_tx(1, "b", 2)], timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1, txs=[put_tx(2, "c", 3)])
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+        assert chain.reorgs >= 1
+        data = chain.state_of("kvstore")["data"]
+        assert data == {"b": 2, "c": 3}
+
+    def test_reorg_moves_tx_locations(self):
+        chain = make_chain()
+        genesis = chain.head
+        tx = put_tx(1, "a", 1)
+        a1 = self.fork(chain, genesis, txs=[tx])
+        chain.add_block(a1)
+        b1 = self.fork(chain, genesis, timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1)
+        chain.add_block(b2)
+        if chain.head.hash == b2.hash:
+            assert chain.tx_location(tx.tx_id) is None
+
+    def test_events_fire_on_newly_applied_blocks(self):
+        chain = make_chain()
+        seen = []
+        chain.subscribe_events(lambda event, block_hash: seen.append(event.name))
+        extend(chain, [put_tx(1)])
+        assert seen == ["Put"]
+
+    def test_reorg_surfaces_orphaned_txs(self):
+        chain = make_chain()
+        genesis = chain.head
+        tx = put_tx(1, "orphan-me", 1)
+        a1 = self.fork(chain, genesis, txs=[tx])
+        chain.add_block(a1)
+        assert chain.tx_location(tx.tx_id) is not None
+        b1 = self.fork(chain, genesis, timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1)
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+        orphans = chain.take_orphaned_txs()
+        assert [o.tx_id for o in orphans] == [tx.tx_id]
+        # Draining is one-shot.
+        assert chain.take_orphaned_txs() == []
+
+    def test_orphaned_tx_already_on_winning_branch_not_surfaced(self):
+        chain = make_chain()
+        genesis = chain.head
+        tx = put_tx(1, "shared", 1)
+        a1 = self.fork(chain, genesis, txs=[tx])
+        chain.add_block(a1)
+        b1 = self.fork(chain, genesis, txs=[tx], timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1)
+        chain.add_block(b2)
+        if chain.head.hash == b2.hash:
+            assert chain.take_orphaned_txs() == []
+            assert chain.tx_location(tx.tx_id) is not None
+
+
+class TestDifficultySchedule:
+    def test_no_retarget_when_window_zero(self):
+        chain = make_chain(retarget_window=0)
+        for _ in range(5):
+            extend(chain)
+        assert chain.head.header.difficulty_bits == 8.0
+
+    def test_retarget_raises_difficulty_for_fast_blocks(self):
+        chain = make_chain(retarget_window=4, target_block_interval=10.0)
+        # Blocks arrive 1s apart: 10x too fast.
+        for _ in range(4):
+            extend(chain)
+        assert chain.head.header.difficulty_bits > 8.0
+
+    def test_retarget_lowers_difficulty_for_slow_blocks(self):
+        chain = make_chain(retarget_window=4, target_block_interval=0.1)
+        for _ in range(4):
+            extend(chain)
+        assert chain.head.header.difficulty_bits < 8.0
+
+    def test_wrong_difficulty_rejected(self):
+        chain = make_chain()
+        block = chain.create_block(MINER, [], 1.0, signing_key=MINER_KEY)
+        block.header.difficulty_bits = 9.0
+        block.header.merkle_root = block.compute_merkle_root()
+        block.sign(MINER_KEY)
+        with pytest.raises(ChainValidationError):
+            chain.add_block(block)
+
+
+class TestSnapshots:
+    def test_deep_reorg_uses_snapshots(self):
+        chain = make_chain()
+        # Build a long main chain crossing the snapshot interval.
+        for i in range(1, 30):
+            extend(chain, [put_tx(i, f"k{i}", i)])
+        assert chain.height == 29
+        assert chain.state_of("kvstore")["writes"] == 29
+        # Values survived the snapshot/pruning machinery.
+        assert chain.state_of("kvstore")["data"]["k7"] == 7

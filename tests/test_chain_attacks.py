@@ -1,0 +1,96 @@
+"""Chain-rewrite attacks: the Nakamoto formula vs the Monte-Carlo race."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.common.rng import SeededRng
+from repro.threats.chain_attacks import (
+    nakamoto_success_probability,
+    simulate_rewrite_race,
+)
+
+
+class TestFormula:
+    def test_zero_depth_always_succeeds(self):
+        assert nakamoto_success_probability(0.1, 0) == 1.0
+
+    def test_majority_attacker_always_succeeds(self):
+        assert nakamoto_success_probability(0.5, 10) == 1.0
+        assert nakamoto_success_probability(0.7, 10) == 1.0
+
+    def test_zero_hashrate_never_succeeds_deep(self):
+        assert nakamoto_success_probability(0.0, 3) == pytest.approx(0.0)
+
+    def test_monotone_decreasing_in_depth(self):
+        probabilities = [nakamoto_success_probability(0.2, z) for z in range(8)]
+        assert all(a >= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_monotone_increasing_in_hashrate(self):
+        probabilities = [nakamoto_success_probability(q, 4)
+                         for q in (0.05, 0.15, 0.25, 0.35, 0.45)]
+        assert all(a <= b for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_known_whitepaper_values(self):
+        # Nakamoto (2008), section 11 tables.
+        assert nakamoto_success_probability(0.1, 5) == pytest.approx(
+            0.0009137, abs=1e-5)
+        assert nakamoto_success_probability(0.3, 5) == pytest.approx(
+            0.1773523, abs=1e-4)
+        assert nakamoto_success_probability(0.1, 10) == pytest.approx(
+            0.0000012, abs=1e-6)
+
+    def test_input_validation(self):
+        with pytest.raises(ValidationError):
+            nakamoto_success_probability(1.5, 3)
+        with pytest.raises(ValidationError):
+            nakamoto_success_probability(0.2, -1)
+
+    @given(st.floats(min_value=0, max_value=1),
+           st.integers(min_value=0, max_value=20))
+    @settings(max_examples=100, deadline=None)
+    def test_result_is_a_probability(self, q, z):
+        assert 0.0 <= nakamoto_success_probability(q, z) <= 1.0
+
+
+class TestMonteCarlo:
+    def test_race_matches_formula_moderate_attacker(self):
+        rng = SeededRng(99)
+        result = simulate_rewrite_race(rng, attacker_fraction=0.25, depth=3,
+                                       trials=4000)
+        expected = nakamoto_success_probability(0.25, 3)
+        assert result.success_rate == pytest.approx(expected, abs=0.03)
+
+    def test_race_matches_formula_weak_attacker(self):
+        rng = SeededRng(100)
+        result = simulate_rewrite_race(rng, attacker_fraction=0.1, depth=4,
+                                       trials=4000)
+        expected = nakamoto_success_probability(0.1, 4)
+        assert result.success_rate == pytest.approx(expected, abs=0.02)
+
+    def test_majority_attacker_always_wins(self):
+        rng = SeededRng(101)
+        result = simulate_rewrite_race(rng, attacker_fraction=0.6, depth=2,
+                                       trials=200)
+        assert result.success_rate == 1.0
+
+    def test_deeper_burial_is_safer(self):
+        rng = SeededRng(102)
+        shallow = simulate_rewrite_race(rng, 0.3, depth=1, trials=2000)
+        deep = simulate_rewrite_race(rng, 0.3, depth=6, trials=2000)
+        assert deep.success_rate < shallow.success_rate
+
+    def test_reproducible_under_seed(self):
+        a = simulate_rewrite_race(SeededRng(7), 0.2, 3, trials=500)
+        b = simulate_rewrite_race(SeededRng(7), 0.2, 3, trials=500)
+        assert a.success_rate == b.success_rate
+
+    def test_input_validation(self):
+        with pytest.raises(ValidationError):
+            simulate_rewrite_race(SeededRng(1), 2.0, 1)
+        with pytest.raises(ValidationError):
+            simulate_rewrite_race(SeededRng(1), 0.1, 1, trials=0)
+
+    def test_mean_race_length_reported(self):
+        result = simulate_rewrite_race(SeededRng(1), 0.2, 2, trials=100)
+        assert result.mean_race_blocks > 0

@@ -1,0 +1,233 @@
+"""The monitor smart contract, driven directly through the engine."""
+
+import pytest
+
+from repro.blockchain.contracts import (
+    ContractContext,
+    ContractEngine,
+    ContractRegistry,
+)
+from repro.drams.contract import (
+    CONTRACT_NAME,
+    EVENT_ALERT,
+    EVENT_LOG_RECORDED,
+    EVENT_VERIFIED,
+    MonitorContract,
+)
+from repro.drams.logs import EntryType
+
+
+def engine(timeout_blocks=3, retention_blocks=10) -> ContractEngine:
+    registry = ContractRegistry()
+    registry.deploy(MonitorContract(timeout_blocks=timeout_blocks,
+                                    retention_blocks=retention_blocks))
+    return ContractEngine(registry)
+
+
+def ctx(height=1, tx_id="tx", sender="li@t1") -> ContractContext:
+    return ContractContext(block_height=height, block_timestamp=float(height),
+                           sender=sender, tx_id=tx_id)
+
+
+def record(eng, corr, entry_type, payload_hash, height=1, tenant="t1",
+           component="pep@t1", tx_id=None):
+    return eng.execute(CONTRACT_NAME, "record_log", {
+        "correlation_id": corr,
+        "entry_type": entry_type,
+        "payload_hash": payload_hash,
+        "tenant": tenant,
+        "component": component,
+    }, ctx(height=height, tx_id=tx_id or f"tx-{entry_type}-{height}"))
+
+
+def events_named(receipt, name):
+    return [e for e in receipt.events if e.name == name]
+
+
+class TestRecording:
+    def test_log_recorded_event(self):
+        eng = engine()
+        receipt = record(eng, "c1", EntryType.PEP_IN, "h1")
+        assert receipt.ok
+        assert len(events_named(receipt, EVENT_LOG_RECORDED)) == 1
+
+    def test_unknown_entry_type_reverts(self):
+        eng = engine()
+        receipt = eng.execute(CONTRACT_NAME, "record_log", {
+            "correlation_id": "c", "entry_type": "weird",
+            "payload_hash": "h", "tenant": "t", "component": "x"}, ctx())
+        assert not receipt.ok
+
+    def test_missing_argument_reverts(self):
+        eng = engine()
+        receipt = eng.execute(CONTRACT_NAME, "record_log",
+                              {"correlation_id": "c"}, ctx())
+        assert not receipt.ok
+
+    def test_unknown_method_reverts(self):
+        eng = engine()
+        assert not eng.execute(CONTRACT_NAME, "selfdestruct", {}, ctx()).ok
+
+    def test_duplicate_same_hash_is_idempotent(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "h1")
+        receipt = record(eng, "c1", EntryType.PEP_IN, "h1", height=2)
+        assert receipt.ok and receipt.result.get("duplicate")
+        assert eng.state_of(CONTRACT_NAME)["stats"]["logs"] == 1
+
+
+class TestMatching:
+    def test_matching_request_leg_no_alert(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "same")
+        receipt = record(eng, "c1", EntryType.PDP_IN, "same")
+        assert events_named(receipt, EVENT_ALERT) == []
+
+    def test_request_mismatch_alert(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "original")
+        receipt = record(eng, "c1", EntryType.PDP_IN, "tampered")
+        alerts = events_named(receipt, EVENT_ALERT)
+        assert len(alerts) == 1
+        assert alerts[0].payload["alert_type"] == "request-mismatch"
+
+    def test_decision_mismatch_alert(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PDP_OUT, "deny-hash")
+        receipt = record(eng, "c1", EntryType.PEP_OUT, "permit-hash")
+        alerts = events_named(receipt, EVENT_ALERT)
+        assert alerts[0].payload["alert_type"] == "decision-mismatch"
+
+    def test_mismatch_alert_fires_once(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "a")
+        record(eng, "c1", EntryType.PDP_IN, "b")
+        # Arrival of the decision leg must not re-raise the request alert.
+        receipt = record(eng, "c1", EntryType.PDP_OUT, "d")
+        assert all(e.payload["alert_type"] != "request-mismatch"
+                   for e in events_named(receipt, EVENT_ALERT))
+
+    def test_clean_flow_verifies(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "req")
+        record(eng, "c1", EntryType.PDP_IN, "req")
+        record(eng, "c1", EntryType.PDP_OUT, "dec")
+        receipt = record(eng, "c1", EntryType.PEP_OUT, "dec")
+        assert len(events_named(receipt, EVENT_VERIFIED)) == 1
+        assert eng.state_of(CONTRACT_NAME)["stats"]["verified"] == 1
+
+    def test_mismatched_flow_never_verifies(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "req")
+        record(eng, "c1", EntryType.PDP_IN, "req")
+        record(eng, "c1", EntryType.PDP_OUT, "dec")
+        receipt = record(eng, "c1", EntryType.PEP_OUT, "other")
+        assert events_named(receipt, EVENT_VERIFIED) == []
+
+    def test_equivocation_alert(self):
+        eng = engine()
+        record(eng, "c1", EntryType.PEP_IN, "first")
+        receipt = record(eng, "c1", EntryType.PEP_IN, "second")
+        alerts = events_named(receipt, EVENT_ALERT)
+        assert alerts[0].payload["alert_type"] == "equivocation"
+        assert alerts[0].payload["details"]["first_hash"] == "first"
+
+
+class TestTimeouts:
+    def test_incomplete_record_flagged_after_timeout(self):
+        eng = engine(timeout_blocks=3)
+        record(eng, "c1", EntryType.PEP_IN, "h", height=1)
+        receipt = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=4))
+        alerts = events_named(receipt, EVENT_ALERT)
+        assert len(alerts) == 1
+        assert alerts[0].payload["alert_type"] == "missing-log"
+        missing = alerts[0].payload["details"]["missing"]
+        assert EntryType.PDP_IN in missing and EntryType.PEP_OUT in missing
+
+    def test_no_flag_before_timeout(self):
+        eng = engine(timeout_blocks=5)
+        record(eng, "c1", EntryType.PEP_IN, "h", height=1)
+        receipt = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=3))
+        assert events_named(receipt, EVENT_ALERT) == []
+
+    def test_complete_record_not_flagged(self):
+        eng = engine(timeout_blocks=1)
+        for entry_type in EntryType.ALL:
+            record(eng, "c1", entry_type, "same" if entry_type in
+                   EntryType.REQUEST_LEG else "dec", height=1)
+        receipt = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=10))
+        assert events_named(receipt, EVENT_ALERT) == []
+
+    def test_missing_log_alert_fires_once(self):
+        eng = engine(timeout_blocks=1)
+        record(eng, "c1", EntryType.PEP_IN, "h", height=1)
+        first = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=5))
+        second = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=6))
+        assert len(events_named(first, EVENT_ALERT)) == 1
+        assert events_named(second, EVENT_ALERT) == []
+
+    def test_retention_prunes_completed_records(self):
+        eng = engine(timeout_blocks=2, retention_blocks=5)
+        for entry_type in EntryType.ALL:
+            record(eng, "c1", entry_type,
+                   "req" if entry_type in EntryType.REQUEST_LEG else "dec",
+                   height=1)
+        assert "c1" in eng.state_of(CONTRACT_NAME)["records"]
+        eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=20))
+        assert "c1" not in eng.state_of(CONTRACT_NAME)["records"]
+        assert eng.state_of(CONTRACT_NAME)["stats"]["pruned"] == 1
+
+    def test_tick_reports_counts(self):
+        eng = engine(timeout_blocks=1)
+        record(eng, "c1", EntryType.PEP_IN, "h", height=1)
+        record(eng, "c2", EntryType.PDP_IN, "h", height=1)
+        receipt = eng.execute(CONTRACT_NAME, "tick", {}, ctx(height=5))
+        assert receipt.result["flagged"] == 2
+
+
+class TestViolationReports:
+    def test_report_violation_emits_alert(self):
+        eng = engine()
+        receipt = eng.execute(CONTRACT_NAME, "report_violation", {
+            "correlation_id": "c1",
+            "kind": "incorrect-decision",
+            "details": {"expected": "Deny", "observed": "Permit"},
+        }, ctx(sender="analyser@infra"))
+        alerts = events_named(receipt, EVENT_ALERT)
+        assert alerts[0].payload["alert_type"] == "incorrect-decision"
+        assert alerts[0].payload["details"]["reported_by"] == "analyser@infra"
+
+    def test_duplicate_violation_not_re_alerted(self):
+        eng = engine()
+        args = {"correlation_id": "c1", "kind": "incorrect-decision",
+                "details": {}}
+        eng.execute(CONTRACT_NAME, "report_violation", args,
+                    ctx(tx_id="t1"))
+        receipt = eng.execute(CONTRACT_NAME, "report_violation", args,
+                              ctx(tx_id="t2"))
+        assert events_named(receipt, EVENT_ALERT) == []
+
+    def test_violation_on_unknown_correlation_creates_record(self):
+        eng = engine()
+        eng.execute(CONTRACT_NAME, "report_violation", {
+            "correlation_id": "ghost", "kind": "incorrect-decision",
+            "details": {}}, ctx())
+        assert "ghost" in eng.state_of(CONTRACT_NAME)["records"]
+
+
+class TestConfig:
+    def test_bad_timeout_rejected(self):
+        with pytest.raises(Exception):
+            MonitorContract(timeout_blocks=0)
+
+    def test_ciphertext_storage_optional(self):
+        registry = ContractRegistry()
+        registry.deploy(MonitorContract(store_ciphertexts=False))
+        eng = ContractEngine(registry)
+        eng.execute(CONTRACT_NAME, "record_log", {
+            "correlation_id": "c", "entry_type": EntryType.PEP_IN,
+            "payload_hash": "h", "tenant": "t", "component": "x",
+            "ciphertext": {"nonce": "00", "ciphertext": "00", "tag": "00"},
+        }, ctx())
+        entry = eng.state_of(CONTRACT_NAME)["records"]["c"]["entries"][EntryType.PEP_IN]
+        assert "ciphertext" not in entry

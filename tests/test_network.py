@@ -1,0 +1,187 @@
+"""Simulated network: delivery, partitions, drops, latency models."""
+
+import pytest
+
+from repro.common.errors import NetworkError
+from repro.common.rng import SeededRng
+from repro.simnet.latency import (
+    ConstantLatency,
+    LanProfile,
+    LognormalLatency,
+    UniformLatency,
+    WanProfile,
+)
+from repro.simnet.network import Host, Message, Network
+
+
+class Recorder(Host):
+    def __init__(self, network, address):
+        super().__init__(network, address)
+        self.received: list[Message] = []
+
+    def receive(self, message):
+        self.received.append(message)
+
+
+class TestLatencyModels:
+    def test_constant_latency(self, rng):
+        model = ConstantLatency(0.01)
+        assert model.sample(rng) == 0.01
+
+    def test_constant_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_bandwidth_term_scales_with_size(self, rng):
+        model = ConstantLatency(0.0, bandwidth_bps=8000)  # 1000 bytes/sec
+        assert model.sample(rng, size_bytes=1000) == pytest.approx(1.0)
+
+    def test_uniform_latency_within_bounds(self, rng):
+        model = UniformLatency(0.01, 0.02)
+        for _ in range(100):
+            assert 0.01 <= model.sample(rng) <= 0.02
+
+    def test_uniform_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.02, 0.01)
+
+    def test_lognormal_positive_and_spread(self, rng):
+        model = LognormalLatency(median=0.025, sigma=0.3)
+        samples = [model.sample(rng) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+        assert min(samples) < 0.025 < max(samples)
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0)
+        with pytest.raises(ValueError):
+            LognormalLatency(median=0.1, sigma=-1)
+
+    def test_profiles_order(self, rng):
+        lan = sum(LanProfile().sample(rng) for _ in range(200)) / 200
+        wan = sum(WanProfile().sample(rng) for _ in range(200)) / 200
+        assert lan * 10 < wan
+
+
+class TestDelivery:
+    def test_message_delivered_after_latency(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.5))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "ping", {"x": 1})
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0].payload == {"x": 1}
+        assert sim.now == pytest.approx(0.5, abs=1e-9)
+
+    def test_unknown_destination_drops(self, sim, rng):
+        net = Network(sim, rng)
+        a = Recorder(net, "a")
+        assert a.send("ghost", "ping", {}) is None
+        assert net.stats.dropped == 1
+
+    def test_unknown_source_raises(self, sim, rng):
+        net = Network(sim, rng)
+        Recorder(net, "a")
+        with pytest.raises(NetworkError):
+            net.send("ghost", "a", "ping", {})
+
+    def test_duplicate_address_rejected(self, sim, rng):
+        net = Network(sim, rng)
+        Recorder(net, "a")
+        with pytest.raises(NetworkError):
+            Recorder(net, "a")
+
+    def test_per_pair_latency_override(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(1.0))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        net.set_latency("a", "b", ConstantLatency(0.1))
+        a.send("b", "fast", {})
+        sim.run()
+        assert sim.now == pytest.approx(0.1, abs=1e-9)
+
+    def test_detach_stops_delivery(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.1))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "ping", {})
+        net.detach("b")
+        sim.run()
+        assert b.received == []
+
+    def test_broadcast_reaches_all_but_sender(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.01))
+        hosts = [Recorder(net, f"h{i}") for i in range(4)]
+        count = net.broadcast("h0", "hello", {"n": 1})
+        sim.run()
+        assert count == 3
+        assert all(len(h.received) == 1 for h in hosts[1:])
+        assert hosts[0].received == []
+
+    def test_stats_track_bytes(self, sim, rng):
+        net = Network(sim, rng)
+        a = Recorder(net, "a")
+        Recorder(net, "b")
+        a.send("b", "ping", {"payload": "x" * 100})
+        assert net.stats.bytes_sent > 100
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.01))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        net.partition(["a"], ["b"])
+        a.send("b", "ping", {})
+        b.send("a", "pong", {})
+        sim.run()
+        assert a.received == [] and b.received == []
+        assert net.stats.dropped == 2
+
+    def test_heal_restores_traffic(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.01))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        net.partition(["a"], ["b"])
+        net.heal()
+        a.send("b", "ping", {})
+        sim.run()
+        assert len(b.received) == 1
+
+    def test_partition_mid_flight_drops_message(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(1.0))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        a.send("b", "ping", {})
+        sim.schedule(0.5, lambda: net.partition(["a"], ["b"]))
+        sim.run()
+        assert b.received == []
+
+
+class TestDropsAndTaps:
+    def test_drop_rate_one_drops_everything(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.01))
+        a = Recorder(net, "a")
+        b = Recorder(net, "b")
+        net.set_drop_rate(1.0)
+        for _ in range(10):
+            a.send("b", "ping", {})
+        sim.run()
+        assert b.received == []
+
+    def test_drop_rate_validation(self, sim, rng):
+        net = Network(sim, rng)
+        with pytest.raises(ValueError):
+            net.set_drop_rate(1.5)
+
+    def test_tap_sees_all_messages(self, sim, rng):
+        net = Network(sim, rng, ConstantLatency(0.01))
+        a = Recorder(net, "a")
+        Recorder(net, "b")
+        seen = []
+        net.add_tap(lambda msg: seen.append(msg.kind))
+        a.send("b", "one", {})
+        a.send("ghost", "two", {})  # dropped, but tapped
+        sim.run()
+        assert seen == ["one", "two"]

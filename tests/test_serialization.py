@@ -1,0 +1,129 @@
+"""Canonical serialization: the root of all hash comparability."""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.serialization import canonical_bytes, canonical_json, from_json
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=30),
+)
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+class TestCanonicalJson:
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace(self):
+        text = canonical_json({"a": [1, 2], "b": "x"})
+        assert " " not in text and "\n" not in text
+
+    def test_nested_dicts_sorted(self):
+        assert canonical_json({"z": {"b": 1, "a": 2}}) == '{"z":{"a":2,"b":1}}'
+
+    def test_tuple_equals_list(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+    def test_dataclass_equals_dict(self):
+        @dataclasses.dataclass
+        class Point:
+            x: int
+            y: int
+
+        assert canonical_json(Point(1, 2)) == canonical_json({"x": 1, "y": 2})
+
+    def test_bytes_envelope(self):
+        text = canonical_json(b"\x01\x02")
+        assert text == '{"__bytes__":"0102"}'
+
+    def test_int_and_float_encode_differently(self):
+        # The blockchain header relies on this distinction being stable.
+        assert canonical_json(10) != canonical_json(10.0)
+
+    def test_set_is_normalised_deterministically(self):
+        assert canonical_json({3, 1, 2}) == canonical_json({2, 3, 1})
+
+    def test_nan_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_json(float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_json(float("inf"))
+
+    def test_non_string_dict_key_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_json({1: "a"})
+
+    def test_arbitrary_object_rejected(self):
+        with pytest.raises(SerializationError):
+            canonical_json(object())
+
+    def test_enum_uses_value(self):
+        from enum import Enum
+
+        class Colour(Enum):
+            RED = "red"
+
+        assert canonical_json(Colour.RED) == '"red"'
+
+
+class TestFromJson:
+    def test_roundtrip_simple(self):
+        value = {"a": [1, 2.5, None, True], "b": "text"}
+        assert from_json(canonical_json(value)) == value
+
+    def test_roundtrip_bytes(self):
+        value = {"blob": b"\xde\xad\xbe\xef"}
+        assert from_json(canonical_json(value)) == value
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(SerializationError):
+            from_json("{not json")
+
+    def test_malformed_bytes_envelope_raises(self):
+        with pytest.raises(SerializationError):
+            from_json('{"__bytes__":"zz"}')
+
+
+class TestProperties:
+    @given(json_values)
+    def test_encoding_is_deterministic(self, value):
+        assert canonical_json(value) == canonical_json(value)
+
+    @given(json_values)
+    def test_roundtrip_preserves_value(self, value):
+        restored = from_json(canonical_json(value))
+        # Float re-parse may widen but equality must hold.
+        assert restored == value or _almost_equal(restored, value)
+
+    @given(st.dictionaries(st.text(max_size=8), json_scalars, max_size=6))
+    def test_canonical_bytes_is_utf8_of_json(self, value):
+        assert canonical_bytes(value).decode("utf-8") == canonical_json(value)
+
+
+def _almost_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-9)
+    if isinstance(a, list) and isinstance(b, list) and len(a) == len(b):
+        return all(_almost_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict) and a.keys() == b.keys():
+        return all(_almost_equal(a[k], b[k]) for k in a)
+    return a == b

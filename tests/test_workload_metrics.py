@@ -1,0 +1,216 @@
+"""Workload generation, scenarios, metrics utilities."""
+
+import pytest
+
+from repro.analysis.properties import check_completeness
+from repro.analysis.semantics import evaluate_document
+from repro.common.errors import ValidationError
+from repro.common.rng import SeededRng
+from repro.metrics.detection import DetectionScorer
+from repro.metrics.recorder import LatencyRecorder, percentile
+from repro.metrics.tables import format_table
+from repro.threats.adversary import AttackRecord
+from repro.workload.generator import RequestGenerator, WorkloadConfig
+from repro.workload.scenarios import healthcare_scenario, ministry_scenario
+
+
+class TestWorkloadGenerator:
+    def gen(self, seed=5, **overrides):
+        config = WorkloadConfig(**overrides) if overrides else WorkloadConfig()
+        return RequestGenerator(config, SeededRng(seed))
+
+    def test_deterministic_under_seed(self):
+        a = [r.subject["subject-id"] for r in self.gen(5).requests(20)]
+        b = [r.subject["subject-id"] for r in self.gen(5).requests(20)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = [r.at for r in self.gen(5).requests(20)]
+        b = [r.at for r in self.gen(6).requests(20)]
+        assert a != b
+
+    def test_arrivals_strictly_increase(self):
+        times = [r.at for r in self.gen().requests(50)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_arrival_rate_roughly_honoured(self):
+        config = WorkloadConfig(arrival_rate=10.0)
+        generator = RequestGenerator(config, SeededRng(7))
+        times = [r.at for r in generator.requests(500)]
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(0.1, rel=0.2)
+
+    def test_zipf_popularity_skew(self):
+        generator = self.gen(resources=50)
+        counts: dict[str, int] = {}
+        for request in generator.requests(1000):
+            rid = request.resource["resource-id"]
+            counts[rid] = counts.get(rid, 0) + 1
+        ranked = sorted(counts.values(), reverse=True)
+        assert ranked[0] > 3 * ranked[len(ranked) // 2]
+
+    def test_roles_respect_population(self):
+        generator = self.gen()
+        roles = {s["role"] for s in generator.subjects()}
+        assert roles <= {"doctor", "nurse", "clerk"}
+
+    def test_payload_padding(self):
+        generator = self.gen(payload_padding_bytes=256)
+        request = next(iter(generator.requests(1)))
+        assert len(request.resource["padding"]) == 256
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(subjects=0)
+        with pytest.raises(ValidationError):
+            WorkloadConfig(roles=("a",), role_weights=(0.5, 0.5))
+        with pytest.raises(ValidationError):
+            WorkloadConfig(arrival_rate=0)
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("scenario_factory",
+                             [healthcare_scenario, ministry_scenario])
+    def test_policy_documents_parse_and_evaluate(self, scenario_factory):
+        scenario = scenario_factory()
+        request = {"subject": {"role": ["doctor"]},
+                   "action": {"action-id": ["read"]},
+                   "resource": {"type": ["medical-record"]}}
+        decision = evaluate_document(scenario.policy_document, request)
+        assert decision in ("Permit", "Deny", "NotApplicable", "Indeterminate")
+
+    @pytest.mark.parametrize("scenario_factory",
+                             [healthcare_scenario, ministry_scenario])
+    def test_scenarios_are_complete_over_their_domains(self, scenario_factory):
+        scenario = scenario_factory()
+        report = check_completeness(scenario.policy_document, scenario.domain)
+        assert report.holds, report.counterexamples[:2]
+
+    def test_healthcare_semantics_spotchecks(self):
+        doc = healthcare_scenario().policy_document
+        doctor_read = {"subject": {"role": ["doctor"]},
+                       "action": {"action-id": ["read"]},
+                       "resource": {"type": ["medical-record"]}}
+        assert evaluate_document(doc, doctor_read) == "Permit"
+        clerk_read = {"subject": {"role": ["clerk"]},
+                      "action": {"action-id": ["read"]},
+                      "resource": {"type": ["medical-record"]}}
+        assert evaluate_document(doc, clerk_read) == "Deny"
+        doctor_remote_write = {
+            "subject": {"role": ["doctor"]},
+            "action": {"action-id": ["write"]},
+            "resource": {"type": ["medical-record"],
+                         "owner-tenant": ["tenant-2"]},
+            "environment": {"origin-tenant": ["tenant-1"]}}
+        assert evaluate_document(doc, doctor_remote_write) == "Deny"
+        doctor_home_write = {
+            "subject": {"role": ["doctor"]},
+            "action": {"action-id": ["write"]},
+            "resource": {"type": ["medical-record"],
+                         "owner-tenant": ["tenant-1"]},
+            "environment": {"origin-tenant": ["tenant-1"]}}
+        assert evaluate_document(doc, doctor_home_write) == "Permit"
+
+    def test_ministry_clearance_gate(self):
+        doc = ministry_scenario().policy_document
+        low_clearance = {
+            "subject": {"role": ["officer"], "clearance": [1]},
+            "action": {"action-id": ["read"]},
+            "resource": {"type": ["tax-document"], "sensitivity": [5]}}
+        assert evaluate_document(doc, low_clearance) == "Deny"
+        high_clearance = {
+            "subject": {"role": ["officer"], "clearance": [5]},
+            "action": {"action-id": ["read"]},
+            "resource": {"type": ["tax-document"], "sensitivity": [1]}}
+        assert evaluate_document(doc, high_clearance) == "Permit"
+
+    def test_ministry_office_hours(self):
+        doc = ministry_scenario().policy_document
+        base = {"subject": {"role": ["auditor"]},
+                "action": {"action-id": ["read"]},
+                "resource": {"type": ["tax-document"]}}
+        in_hours = dict(base, environment={"time-of-day": [10.0 * 3600]})
+        after_hours = dict(base, environment={"time-of-day": [22.0 * 3600]})
+        assert evaluate_document(doc, in_hours) == "Permit"
+        assert evaluate_document(doc, after_hours) == "Deny"
+
+
+class TestLatencyRecorder:
+    def test_summary_statistics(self):
+        recorder = LatencyRecorder()
+        recorder.extend("x", [0.1, 0.2, 0.3, 0.4, 0.5])
+        summary = recorder.summary("x")
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(0.3)
+        assert summary.p50 == pytest.approx(0.3)
+        assert summary.maximum == 0.5
+
+    def test_percentile_interpolates(self):
+        assert percentile([0.0, 1.0], 0.5) == 0.5
+        assert percentile([1.0], 0.9) == 1.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValidationError):
+            percentile([], 0.5)
+        with pytest.raises(ValidationError):
+            percentile([1.0], 2.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValidationError):
+            LatencyRecorder().record("x", -1.0)
+
+    def test_missing_series_raises(self):
+        with pytest.raises(ValidationError):
+            LatencyRecorder().summary("ghost")
+
+    def test_as_row_scales_to_ms(self):
+        recorder = LatencyRecorder()
+        recorder.record("x", 0.25)
+        row = recorder.summary("x").as_row()
+        assert row["mean_ms"] == 250.0
+
+
+class TestDetectionScorer:
+    def record(self, detected, latency=1.0):
+        return AttackRecord(attack_name="a", injected_at=0.0,
+                            expected_alerts=(), detected=detected,
+                            detection_latency=latency if detected else None)
+
+    def test_rates(self):
+        scorer = DetectionScorer()
+        scorer.add(self.record(True, 2.0))
+        scorer.add(self.record(False))
+        summary = scorer.summary()
+        assert summary.detection_rate == 0.5
+        assert summary.mean_latency == 2.0
+
+    def test_empty_scorer(self):
+        summary = DetectionScorer().summary()
+        assert summary.attacks == 0 and summary.detection_rate == 0.0
+        assert summary.mean_latency is None
+
+    def test_false_positive_accumulation(self):
+        scorer = DetectionScorer()
+        scorer.add_all([self.record(True)], false_positives=3)
+        assert scorer.summary().false_positives == 3
+
+
+class TestTables:
+    def test_alignment_and_headers(self):
+        table = format_table([{"name": "a", "value": 1},
+                              {"name": "longer", "value": 23}], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_missing_cells_dash(self):
+        table = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "-" in table.splitlines()[-2]
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_floats_formatted(self):
+        table = format_table([{"x": 0.123456}])
+        assert "0.123" in table

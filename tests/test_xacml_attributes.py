@@ -1,0 +1,109 @@
+"""Attribute model: categories, data types, bags."""
+
+import pytest
+
+from repro.common.errors import PolicyError
+from repro.xacml.attributes import AttributeId, Bag, Category, DataType
+
+
+class TestCategory:
+    def test_short_names_expand(self):
+        assert Category.expand("subject") == Category.SUBJECT
+        assert Category.expand("resource") == Category.RESOURCE
+        assert Category.expand("action") == Category.ACTION
+        assert Category.expand("environment") == Category.ENVIRONMENT
+
+    def test_full_urns_pass_through(self):
+        assert Category.expand(Category.SUBJECT) == Category.SUBJECT
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(PolicyError):
+            Category.expand("banana")
+
+    def test_shorten_round_trips(self):
+        for short in ("subject", "resource", "action", "environment"):
+            assert Category.shorten(Category.expand(short)) == short
+
+
+class TestAttributeId:
+    def test_normalises_category(self):
+        attr = AttributeId("subject", "role")
+        assert attr.category == Category.SUBJECT
+
+    def test_short_form(self):
+        assert AttributeId("subject", "role").short() == "subject:role"
+
+
+class TestDataType:
+    def test_check_accepts_matching(self):
+        assert DataType.check(DataType.STRING, "x") == "x"
+        assert DataType.check(DataType.INTEGER, 5) == 5
+        assert DataType.check(DataType.BOOLEAN, True) is True
+
+    def test_int_widens_to_double(self):
+        assert DataType.check(DataType.DOUBLE, 5) == 5.0
+        assert isinstance(DataType.check(DataType.DOUBLE, 5), float)
+
+    def test_bool_is_not_integer(self):
+        with pytest.raises(PolicyError):
+            DataType.check(DataType.INTEGER, True)
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(PolicyError):
+            DataType.check(DataType.STRING, 5)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PolicyError):
+            DataType.check("complex", 1j)
+
+    def test_infer(self):
+        assert DataType.infer("x") == DataType.STRING
+        assert DataType.infer(5) == DataType.INTEGER
+        assert DataType.infer(5.0) == DataType.DOUBLE
+        assert DataType.infer(True) == DataType.BOOLEAN
+
+    def test_infer_rejects_unknown(self):
+        with pytest.raises(PolicyError):
+            DataType.infer([1])
+
+
+class TestBag:
+    def test_of_infers_type(self):
+        bag = Bag.of("a", "b")
+        assert bag.data_type == DataType.STRING
+        assert len(bag) == 2
+
+    def test_of_requires_values(self):
+        with pytest.raises(PolicyError):
+            Bag.of()
+
+    def test_empty_bag(self):
+        assert len(Bag.empty()) == 0
+
+    def test_contains(self):
+        assert "a" in Bag.of("a", "b")
+        assert "z" not in Bag.of("a", "b")
+
+    def test_equality_ignores_order(self):
+        assert Bag.of("a", "b") == Bag.of("b", "a")
+
+    def test_equality_respects_multiplicity(self):
+        assert Bag.of("a", "a") != Bag.of("a")
+
+    def test_equality_respects_type(self):
+        assert Bag(DataType.INTEGER, [1]) != Bag(DataType.DOUBLE, [1.0])
+
+    def test_one_and_only_singleton(self):
+        assert Bag.of("only").one_and_only() == "only"
+
+    def test_one_and_only_rejects_multiple(self):
+        with pytest.raises(PolicyError):
+            Bag.of("a", "b").one_and_only()
+
+    def test_one_and_only_rejects_empty(self):
+        with pytest.raises(PolicyError):
+            Bag.empty().one_and_only()
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(PolicyError):
+            Bag(DataType.STRING, ["a", 5])

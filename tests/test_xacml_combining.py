@@ -1,0 +1,165 @@
+"""Combining algorithms: table-driven spec cases plus algebraic properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xacml.combining import (
+    POLICY_COMBINING,
+    RULE_COMBINING,
+    adjust_for_target,
+    deny_overrides,
+    deny_unless_permit,
+    first_applicable,
+    only_one_applicable,
+    permit_overrides,
+    permit_unless_deny,
+)
+from repro.xacml.context import Decision
+
+P = Decision.PERMIT
+D = Decision.DENY
+NA = Decision.NOT_APPLICABLE
+I = Decision.INDETERMINATE
+IP = Decision.INDETERMINATE_P
+ID = Decision.INDETERMINATE_D
+IDP = Decision.INDETERMINATE_DP
+
+decisions = st.lists(st.sampled_from([P, D, NA, I, IP, ID, IDP]), max_size=8)
+
+
+class TestDenyOverrides:
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], NA),
+        ([NA, NA], NA),
+        ([P], P),
+        ([D], D),
+        ([P, D], D),
+        ([D, P], D),
+        ([NA, P], P),
+        ([ID], ID),
+        ([ID, P], IDP),
+        ([ID, IP], IDP),
+        ([IP], IP),
+        ([IP, P], P),
+        ([I, P], IDP),
+        ([IDP, D], D),
+    ])
+    def test_spec_cases(self, inputs, expected):
+        assert deny_overrides(inputs) is expected
+
+    @given(decisions)
+    def test_deny_always_wins(self, inputs):
+        if D in inputs:
+            assert deny_overrides(inputs) is D
+
+    @given(decisions)
+    def test_never_invents_permit(self, inputs):
+        if P not in inputs:
+            assert deny_overrides(inputs) is not P
+
+
+class TestPermitOverrides:
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], NA),
+        ([P], P),
+        ([D], D),
+        ([P, D], P),
+        ([NA, D], D),
+        ([IP], IP),
+        ([IP, D], IDP),
+        ([ID], ID),
+        ([ID, D], D),
+        ([I, D], IDP),
+    ])
+    def test_spec_cases(self, inputs, expected):
+        assert permit_overrides(inputs) is expected
+
+    @given(decisions)
+    def test_permit_always_wins(self, inputs):
+        if P in inputs:
+            assert permit_overrides(inputs) is P
+
+    @given(decisions)
+    def test_mirror_of_deny_overrides(self, inputs):
+        """permit-overrides = deny-overrides with P/D (and IP/ID) swapped."""
+        swap = {P: D, D: P, IP: ID, ID: IP, NA: NA, I: I, IDP: IDP}
+        mirrored = [swap[d] for d in inputs]
+        assert permit_overrides(inputs) is swap[deny_overrides(mirrored)]
+
+
+class TestFirstApplicable:
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], NA),
+        ([NA, P, D], P),
+        ([NA, D, P], D),
+        ([NA, NA], NA),
+        ([I, P], I),
+        ([IP, D], I),
+        ([P, I], P),
+    ])
+    def test_spec_cases(self, inputs, expected):
+        assert first_applicable(inputs) is expected
+
+    @given(decisions)
+    def test_prefix_of_na_is_ignored(self, inputs):
+        assert first_applicable([NA, NA] + inputs) is first_applicable(inputs)
+
+
+class TestOnlyOneApplicable:
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], NA),
+        ([NA], NA),
+        ([P], P),
+        ([D], D),
+        ([P, NA], P),
+        ([P, D], I),
+        ([P, P], I),
+        ([I], I),
+        ([NA, I], I),
+    ])
+    def test_spec_cases(self, inputs, expected):
+        assert only_one_applicable(inputs) is expected
+
+
+class TestUnlessVariants:
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], D), ([NA], D), ([D], D), ([I], D), ([P], P), ([D, P], P),
+    ])
+    def test_deny_unless_permit(self, inputs, expected):
+        assert deny_unless_permit(inputs) is expected
+
+    @pytest.mark.parametrize("inputs,expected", [
+        ([], P), ([NA], P), ([P], P), ([I], P), ([D], D), ([P, D], D),
+    ])
+    def test_permit_unless_deny(self, inputs, expected):
+        assert permit_unless_deny(inputs) is expected
+
+    @given(decisions)
+    def test_unless_variants_are_total(self, inputs):
+        assert deny_unless_permit(inputs) in (P, D)
+        assert permit_unless_deny(inputs) in (P, D)
+
+
+class TestAdjustForTarget:
+    def test_mapping(self):
+        assert adjust_for_target(P) is IP
+        assert adjust_for_target(D) is ID
+        assert adjust_for_target(NA) is NA
+        assert adjust_for_target(IDP) is IDP
+        assert adjust_for_target(IP) is IP
+
+
+class TestRegistries:
+    def test_rule_table_contents(self):
+        assert set(RULE_COMBINING) == {
+            "deny-overrides", "permit-overrides", "first-applicable",
+            "deny-unless-permit", "permit-unless-deny"}
+
+    def test_policy_table_adds_only_one_applicable(self):
+        assert "only-one-applicable" in POLICY_COMBINING
+        assert "only-one-applicable" not in RULE_COMBINING
+
+    @given(decisions)
+    def test_all_algorithms_total_and_closed(self, inputs):
+        for combine in POLICY_COMBINING.values():
+            assert combine(inputs) in (P, D, NA, I, IP, ID, IDP)

@@ -1,0 +1,248 @@
+"""The expression language and function library."""
+
+import pytest
+
+from repro.common.errors import PolicyError
+from repro.xacml.attributes import Bag, DataType
+from repro.xacml.context import RequestContext
+from repro.xacml.expressions import (
+    Apply,
+    AttributeDesignator,
+    EvaluationError,
+    Literal,
+)
+
+
+@pytest.fixture
+def request_ctx() -> RequestContext:
+    return RequestContext.of(
+        subject={"subject-id": "alice", "role": ["doctor", "researcher"],
+                 "clearance": 3},
+        resource={"resource-id": "rec-1", "type": "medical-record",
+                  "sensitivity": 2},
+        action={"action-id": "read"},
+        environment={"time-of-day": 36000.0},
+    )
+
+
+def apply(function, *args):
+    return Apply(function, tuple(args))
+
+
+def lit(value):
+    return Literal(value)
+
+
+def desig(category, attribute_id, data_type=DataType.STRING, must=False):
+    return AttributeDesignator(category, attribute_id, data_type, must)
+
+
+class TestLiterals:
+    def test_literal_evaluates_to_value(self, request_ctx):
+        assert lit("x").evaluate(request_ctx) == "x"
+
+    def test_literal_infers_type(self):
+        assert lit(5).data_type == DataType.INTEGER
+        assert lit(True).data_type == DataType.BOOLEAN
+
+    def test_literal_type_mismatch_rejected(self):
+        with pytest.raises(PolicyError):
+            Literal("x", data_type=DataType.INTEGER)
+
+
+class TestDesignators:
+    def test_returns_bag_of_values(self, request_ctx):
+        bag = desig("subject", "role").evaluate(request_ctx)
+        assert isinstance(bag, Bag)
+        assert sorted(bag.values) == ["doctor", "researcher"]
+
+    def test_missing_attribute_returns_empty_bag(self, request_ctx):
+        bag = desig("subject", "ghost").evaluate(request_ctx)
+        assert len(bag) == 0
+
+    def test_must_be_present_raises_on_missing(self, request_ctx):
+        with pytest.raises(EvaluationError) as info:
+            desig("subject", "ghost", must=True).evaluate(request_ctx)
+        assert info.value.missing_attribute
+
+    def test_type_mismatch_raises(self, request_ctx):
+        with pytest.raises(EvaluationError):
+            desig("subject", "role", DataType.INTEGER).evaluate(request_ctx)
+
+
+class TestEqualityAndComparison:
+    def test_string_equal(self, request_ctx):
+        assert apply("string-equal", lit("a"), lit("a")).evaluate(request_ctx)
+        assert not apply("string-equal", lit("a"), lit("b")).evaluate(request_ctx)
+
+    def test_integer_comparisons(self, request_ctx):
+        assert apply("integer-greater-than", lit(3), lit(2)).evaluate(request_ctx)
+        assert apply("integer-less-than-or-equal", lit(2), lit(2)).evaluate(request_ctx)
+        assert not apply("integer-less-than", lit(3), lit(2)).evaluate(request_ctx)
+
+    def test_greater_or_equal_is_not_equality(self, request_ctx):
+        # Regression guard for the endswith("-equal") bug found in the
+        # analyser's twin implementation.
+        assert apply("integer-greater-than-or-equal",
+                     lit(3), lit(1)).evaluate(request_ctx)
+
+    def test_time_in_range(self, request_ctx):
+        assert apply("time-in-range", lit(10.0), lit(5.0), lit(15.0)
+                     ).evaluate(request_ctx)
+        assert not apply("time-in-range", lit(20.0), lit(5.0), lit(15.0)
+                         ).evaluate(request_ctx)
+
+    def test_comparison_on_non_numeric_raises(self, request_ctx):
+        with pytest.raises(EvaluationError):
+            apply("integer-greater-than", lit("a"), lit(1)).evaluate(request_ctx)
+
+    def test_wrong_arity_raises(self, request_ctx):
+        with pytest.raises(EvaluationError):
+            apply("string-equal", lit("a")).evaluate(request_ctx)
+
+
+class TestArithmetic:
+    def test_add_multiply(self, request_ctx):
+        assert apply("integer-add", lit(1), lit(2), lit(3)).evaluate(request_ctx) == 6
+        assert apply("integer-multiply", lit(2), lit(3)).evaluate(request_ctx) == 6
+
+    def test_subtract_mod_abs(self, request_ctx):
+        assert apply("integer-subtract", lit(5), lit(3)).evaluate(request_ctx) == 2
+        assert apply("integer-mod", lit(7), lit(3)).evaluate(request_ctx) == 1
+        assert apply("integer-abs", lit(-4)).evaluate(request_ctx) == 4
+
+    def test_double_add(self, request_ctx):
+        assert apply("double-add", lit(0.5), lit(1.5)).evaluate(request_ctx) == 2.0
+
+
+class TestBooleans:
+    def test_and_or_not(self, request_ctx):
+        assert apply("and", lit(True), lit(True)).evaluate(request_ctx)
+        assert not apply("and", lit(True), lit(False)).evaluate(request_ctx)
+        assert apply("or", lit(False), lit(True)).evaluate(request_ctx)
+        assert apply("not", lit(False)).evaluate(request_ctx)
+
+    def test_empty_and_is_true(self, request_ctx):
+        assert apply("and").evaluate(request_ctx) is True
+
+    def test_n_of(self, request_ctx):
+        assert apply("n-of", lit(2), lit(True), lit(False), lit(True)
+                     ).evaluate(request_ctx)
+        assert not apply("n-of", lit(3), lit(True), lit(False), lit(True)
+                         ).evaluate(request_ctx)
+
+    def test_non_boolean_operand_raises(self, request_ctx):
+        with pytest.raises(EvaluationError):
+            apply("and", lit(1)).evaluate(request_ctx)
+
+
+class TestStrings:
+    def test_concatenate(self, request_ctx):
+        assert apply("string-concatenate", lit("a"), lit("b")
+                     ).evaluate(request_ctx) == "ab"
+
+    def test_starts_ends_contains(self, request_ctx):
+        assert apply("string-starts-with", lit("med"), lit("medical")
+                     ).evaluate(request_ctx)
+        assert apply("string-ends-with", lit("cal"), lit("medical")
+                     ).evaluate(request_ctx)
+        assert apply("string-contains", lit("dic"), lit("medical")
+                     ).evaluate(request_ctx)
+
+    def test_regexp_match(self, request_ctx):
+        assert apply("string-regexp-match", lit("^rec-[0-9]+$"), lit("rec-42")
+                     ).evaluate(request_ctx)
+        assert not apply("string-regexp-match", lit("^x"), lit("rec-42")
+                         ).evaluate(request_ctx)
+
+    def test_lower_case(self, request_ctx):
+        assert apply("string-normalize-to-lower-case", lit("AbC")
+                     ).evaluate(request_ctx) == "abc"
+
+
+class TestBagFunctions:
+    def test_one_and_only(self, request_ctx):
+        value = apply("one-and-only", desig("action", "action-id")
+                      ).evaluate(request_ctx)
+        assert value == "read"
+
+    def test_one_and_only_multivalued_raises(self, request_ctx):
+        with pytest.raises(PolicyError):
+            apply("one-and-only", desig("subject", "role")).evaluate(request_ctx)
+
+    def test_bag_size(self, request_ctx):
+        assert apply("bag-size", desig("subject", "role")
+                     ).evaluate(request_ctx) == 2
+
+    def test_is_in(self, request_ctx):
+        assert apply("is-in", lit("doctor"), desig("subject", "role")
+                     ).evaluate(request_ctx)
+
+    def test_intersection_union(self, request_ctx):
+        roles = desig("subject", "role")
+        other = apply("bag", lit("doctor"), lit("admin"))
+        intersection = apply("intersection", roles, other).evaluate(request_ctx)
+        assert intersection.values == ["doctor"]
+        union = apply("union", roles, other).evaluate(request_ctx)
+        assert sorted(union.values) == ["admin", "doctor", "researcher"]
+
+    def test_at_least_one_member_of(self, request_ctx):
+        other = apply("bag", lit("doctor"), lit("admin"))
+        assert apply("at-least-one-member-of", desig("subject", "role"), other
+                     ).evaluate(request_ctx)
+
+    def test_subset(self, request_ctx):
+        sub = apply("bag", lit("doctor"))
+        assert apply("subset", sub, desig("subject", "role")).evaluate(request_ctx)
+        assert not apply("subset", desig("subject", "role"), sub
+                         ).evaluate(request_ctx)
+
+    def test_bag_of_non_bag_raises(self, request_ctx):
+        with pytest.raises(EvaluationError):
+            apply("bag-size", lit("x")).evaluate(request_ctx)
+
+
+class TestHigherOrder:
+    def test_any_of(self, request_ctx):
+        expr = apply("any-of", lit("string-equal"), lit("doctor"),
+                     desig("subject", "role"))
+        assert expr.evaluate(request_ctx)
+
+    def test_any_of_no_match(self, request_ctx):
+        expr = apply("any-of", lit("string-equal"), lit("admin"),
+                     desig("subject", "role"))
+        assert not expr.evaluate(request_ctx)
+
+    def test_all_of(self, request_ctx):
+        expr = apply("all-of", lit("string-starts-with"), lit(""),
+                     desig("subject", "role"))
+        assert expr.evaluate(request_ctx)
+
+    def test_any_of_any(self, request_ctx):
+        expr = apply("any-of-any", lit("string-equal"),
+                     desig("subject", "role"),
+                     apply("bag", lit("researcher"), lit("x")))
+        assert expr.evaluate(request_ctx)
+
+    def test_higher_order_needs_function_literal(self, request_ctx):
+        expr = apply("any-of", lit("doctor"), lit("doctor"),
+                     desig("subject", "role"))
+        with pytest.raises(EvaluationError):
+            expr.evaluate(request_ctx)
+
+    def test_unknown_function_rejected_at_build_time(self):
+        with pytest.raises(PolicyError):
+            apply("frobnicate", lit(1))
+
+    def test_serialization_roundtrip(self, request_ctx):
+        from repro.xacml.parser import expression_from_dict
+
+        expr = apply("and",
+                     apply("any-of", lit("string-equal"), lit("read"),
+                           desig("action", "action-id")),
+                     apply("integer-greater-than",
+                           apply("one-and-only",
+                                 desig("subject", "clearance", DataType.INTEGER)),
+                           lit(1)))
+        restored = expression_from_dict(expr.to_dict())
+        assert restored.evaluate(request_ctx) == expr.evaluate(request_ctx) is True

@@ -1,0 +1,80 @@
+"""Regenerate the Schnorr group constants in repro.crypto.signatures.
+
+Deterministic: draws candidate integers from the SHA-256 stream
+``drams-group-<i>``, takes the first 160-bit probable prime as q, then the
+first 1024-bit probable prime of the form p = q*k + 1, and uses
+g = 2^((p-1)/q) mod p as the order-q generator.
+
+Run: python tools/gen_group.py
+"""
+
+import hashlib
+import random
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    if n < 2:
+        return False
+    for small in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % small == 0:
+            return n == small
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xDEADBEEF)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def stream(i: int) -> int:
+    return int.from_bytes(hashlib.sha256(f"drams-group-{i}".encode()).digest(), "big")
+
+
+def main() -> None:
+    i = 0
+    while True:
+        q = stream(i) % (1 << 160) | (1 << 159) | 1
+        if is_probable_prime(q):
+            break
+        i += 1
+
+    j = 0
+    while True:
+        m = 0
+        for w in range(4):
+            m = (m << 256) | stream(10_000 + j * 4 + w)
+        m |= 1 << 1023
+        k = m // q
+        if k % 2:
+            k += 1
+        p = q * k + 1
+        if p.bit_length() == 1024 and is_probable_prime(p):
+            break
+        j += 1
+
+    h = 2
+    while True:
+        g = pow(h, (p - 1) // q, p)
+        if g != 1:
+            break
+        h += 1
+    assert pow(g, q, p) == 1
+
+    print(f"_P = 0x{p:x}")
+    print(f"_Q = 0x{q:x}")
+    print(f"_G = 0x{g:x}")
+
+
+if __name__ == "__main__":
+    main()
