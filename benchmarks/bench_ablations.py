@@ -11,8 +11,6 @@ enforces a different decision than the PDP issued goes unnoticed without
 the on-chain decision-leg comparison.
 """
 
-import pytest
-
 from benchmarks.common import bench_drams_config, build_stack
 from repro.drams.alerts import AlertType
 from repro.drams.logs import EntryType

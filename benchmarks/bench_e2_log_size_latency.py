@@ -6,8 +6,6 @@ claim is qualitative; the shape to reproduce is monotone growth of commit
 latency (and on-chain bytes) with entry size.
 """
 
-import pytest
-
 from benchmarks.common import bench_drams_config, mean, p95
 from repro.federation.federation import FederationConfig
 from repro.harness import MonitoredFederation

@@ -13,8 +13,6 @@ Two parts:
 
 import time
 
-import pytest
-
 from benchmarks.common import bench_chain_config, bench_drams_config, build_stack, mean
 from repro.blockchain.block import BlockHeader
 from repro.blockchain.pow import expected_hashes, grind_nonce, meets_target, retarget

@@ -11,7 +11,6 @@ majority restore safety — is the paper's point.
 
 import pytest
 
-from benchmarks.common import mean
 from repro.common.rng import SeededRng
 from repro.metrics.tables import format_table
 from repro.threats.chain_attacks import (

@@ -13,8 +13,6 @@ pure-chain while keeping tamper evidence (delayed by the anchor interval);
 the plain database is fastest and proves nothing.
 """
 
-import pytest
-
 from benchmarks.common import bench_chain_config, mean
 from repro.blockchain.contracts import ContractRegistry, KeyValueContract
 from repro.blockchain.node import BlockchainNode

@@ -16,9 +16,7 @@ Three arms, same attacks, same probes:
    keeps detecting via the remaining tenants' replicas.
 """
 
-import pytest
-
-from benchmarks.common import bench_drams_config, build_stack, mean
+from benchmarks.common import bench_drams_config, build_stack
 from repro.baselines.central import attach_centralized_monitoring
 from repro.drams.alerts import AlertType
 from repro.harness import MonitoredFederation

@@ -12,9 +12,7 @@ what that costs:
   added.
 """
 
-import pytest
-
-from benchmarks.common import bench_drams_config, build_stack, mean, p95
+from benchmarks.common import bench_drams_config, mean, p95
 from repro.harness import MonitoredFederation
 from repro.metrics.tables import format_table
 from repro.workload.scenarios import healthcare_scenario

@@ -10,8 +10,6 @@ could not keep up with the PDP at runtime.
 
 import time
 
-import pytest
-
 from repro.analysis.semantics import DecisionOracle
 from repro.metrics.tables import format_table
 from repro.xacml.context import RequestContext

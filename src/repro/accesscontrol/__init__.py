@@ -14,6 +14,7 @@ exactly the window the paper's monitoring closes.
 
 from repro.accesscontrol.messages import AccessRequest, AccessDecision, decision_payload
 from repro.accesscontrol.context_handler import ContextHandler
+from repro.accesscontrol.decision_cache import DecisionCache, project_attributes
 from repro.accesscontrol.prp import PolicyRetrievalPoint
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.pdp_service import PdpService
@@ -24,6 +25,8 @@ __all__ = [
     "AccessDecision",
     "decision_payload",
     "ContextHandler",
+    "DecisionCache",
+    "project_attributes",
     "PolicyRetrievalPoint",
     "PolicyAdministrationPoint",
     "PdpService",

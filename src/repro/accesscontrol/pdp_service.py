@@ -4,6 +4,13 @@ Lives in the infrastructure tenant.  For each ``ac_request`` message it
 fetches the active policy version from the PRP, evaluates the request and
 replies with an ``ac_response``.
 
+Fast path: compiled PDPs are kept in a small per-fingerprint LRU (policy
+flip-flops no longer recompile), rule counts are memoised per version, and
+a :class:`~repro.accesscontrol.decision_cache.DecisionCache` serves
+repeated requests without re-walking the policy tree.  Cached and indexed
+decisions are bit-identical to slow-path evaluation (differential tests
+enforce this), so probes and DRAMS observe the same behaviour either way.
+
 Probe hooks (DRAMS attaches here):
 
 - ``on_request_received(request)`` — fired when a request arrives (PDP-in),
@@ -13,23 +20,37 @@ Probe hooks (DRAMS attaches here):
 
 Attack injection: :mod:`repro.threats` installs ``evaluation_interceptor``
 to model a compromised evaluation process, or publishes a rogue policy via
-the PRP to model policy alteration.
+the PRP to model policy alteration.  An override PDP bypasses the decision
+cache entirely — rogue decisions are neither served from nor written to it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.simnet.network import Host, Message, Network
 from repro.xacml.context import RequestContext
+from repro.xacml.index import attribute_footprint
 from repro.xacml.parser import policy_from_dict
 from repro.xacml.pdp import PolicyDecisionPoint
+from repro.accesscontrol.decision_cache import DecisionCache
 from repro.accesscontrol.messages import AccessDecision, AccessRequest
-from repro.accesscontrol.prp import PolicyRetrievalPoint
+from repro.accesscontrol.prp import PolicyRetrievalPoint, PolicyVersion
 
 RequestHook = Callable[[AccessRequest], None]
 DecisionHook = Callable[[AccessRequest, AccessDecision], None]
 EvaluationInterceptor = Callable[[AccessRequest, AccessDecision], AccessDecision]
+
+
+@dataclass
+class _CompiledPolicy:
+    """Everything derived once per policy fingerprint."""
+
+    pdp: PolicyDecisionPoint
+    rule_count: int
+    footprint: frozenset
 
 
 class PdpService(Host):
@@ -37,7 +58,11 @@ class PdpService(Host):
 
     def __init__(self, network: Network, address: str, prp: PolicyRetrievalPoint,
                  base_processing_delay: float = 0.0005,
-                 per_rule_delay: float = 0.00001) -> None:
+                 per_rule_delay: float = 0.00001,
+                 pdp_cache_size: int = 8,
+                 use_target_index: bool = True,
+                 decision_cache: Optional[DecisionCache] = None,
+                 use_decision_cache: bool = True) -> None:
         super().__init__(network, address)
         self.prp = prp
         self.base_processing_delay = base_processing_delay
@@ -49,21 +74,43 @@ class PdpService(Host):
         #: Attack injection point: a rogue policy replacing the PRP view
         #: (models the attacker altering the policy the PDP enforces).
         self.policy_override: Optional[PolicyDecisionPoint] = None
-        self._pdp_cache: dict[str, PolicyDecisionPoint] = {}
+        self.use_target_index = use_target_index
+        self.pdp_cache_size = max(1, pdp_cache_size)
+        self.pdp_compilations = 0
+        self._pdp_cache: "OrderedDict[str, _CompiledPolicy]" = OrderedDict()
+        self.decision_cache: Optional[DecisionCache] = None
+        if use_decision_cache:
+            # "or" would discard an *empty* shared cache (len() == 0 is falsy).
+            self.decision_cache = (decision_cache if decision_cache is not None
+                                   else DecisionCache())
+            self.decision_cache.bind(prp)
 
     # -- policy management -------------------------------------------------------
 
-    def _current_pdp(self) -> PolicyDecisionPoint:
+    def _compiled_current(self) -> tuple[PolicyVersion, _CompiledPolicy]:
+        """The active policy version with its compiled artefacts (LRU-kept)."""
         version = self.prp.current()
-        pdp = self._pdp_cache.get(version.fingerprint)
-        if pdp is None:
-            pdp = PolicyDecisionPoint(policy_from_dict(version.document))
-            self._pdp_cache = {version.fingerprint: pdp}
-        return pdp
+        compiled = self._pdp_cache.get(version.fingerprint)
+        if compiled is None:
+            root = policy_from_dict(version.document)
+            compiled = _CompiledPolicy(
+                pdp=PolicyDecisionPoint(root, indexed=self.use_target_index),
+                rule_count=_count_rules(version.document),
+                footprint=attribute_footprint(root),
+            )
+            self._pdp_cache[version.fingerprint] = compiled
+            self.pdp_compilations += 1
+            while len(self._pdp_cache) > self.pdp_cache_size:
+                self._pdp_cache.popitem(last=False)
+        else:
+            self._pdp_cache.move_to_end(version.fingerprint)
+        return version, compiled
+
+    def _current_pdp(self) -> PolicyDecisionPoint:
+        return self._compiled_current()[1].pdp
 
     def _rule_count(self) -> int:
-        document = self.prp.current().document
-        return _count_rules(document)
+        return self._compiled_current()[1].rule_count
 
     # -- message handling -------------------------------------------------------
 
@@ -73,19 +120,42 @@ class PdpService(Host):
         request = AccessRequest.from_dict(message.payload)
         for hook in self.on_request_received:
             hook(request)
-        delay = self.base_processing_delay + self.per_rule_delay * self._rule_count()
-        self.sim.schedule(delay, lambda: self._evaluate_and_reply(request, message.src),
-                          label=f"pdp-eval:{request.request_id}")
+        # Compute the cache key once at receipt; the scheduled evaluation
+        # reuses it unless a racing policy publication changed the
+        # fingerprint in between (then it recomputes — correctness first).
+        # The processing delay is committed here, so a hit-predicted request
+        # whose entry is flushed/evicted before evaluation is charged the
+        # hit-path delay despite the full tree walk — an accepted
+        # approximation, bounded by in-flight requests per policy publish.
+        keyed = self._request_key(request)
+        hit_expected = keyed is not None and self.decision_cache.contains(keyed[1])
+        delay = self.base_processing_delay
+        if not hit_expected:
+            delay += self.per_rule_delay * self._rule_count()
+        self.sim.schedule(
+            delay, lambda: self._evaluate_and_reply(request, message.src, keyed),
+            label=f"pdp-eval:{request.request_id}")
 
-    def _evaluate_and_reply(self, request: AccessRequest, reply_to: str) -> None:
+    def _request_key(self, request: AccessRequest) -> Optional[tuple[str, str]]:
+        """``(fingerprint, cache key)`` for the active policy, if cacheable."""
+        if self.decision_cache is None or self.policy_override is not None:
+            return None
+        if self.prp.version_count() == 0:
+            return None
+        version, compiled = self._compiled_current()
+        key = self.decision_cache.request_key(
+            version.fingerprint, request.content, compiled.footprint)
+        return version.fingerprint, key
+
+    def _evaluate_and_reply(self, request: AccessRequest, reply_to: str,
+                            keyed: Optional[tuple[str, str]] = None) -> None:
         self.requests_served += 1
-        pdp = self.policy_override or self._current_pdp()
-        response = pdp.evaluate(RequestContext.from_dict(request.content))
+        payload = self._decide(request, keyed)
         decision = AccessDecision(
             request_id=request.request_id,
-            decision=response.decision.value,
-            obligations=[ob.to_dict() for ob in response.obligations],
-            status_code=response.status_code,
+            decision=payload["decision"],
+            obligations=payload["obligations"],
+            status_code=payload["status_code"],
             decided_at=self.sim.now,
         )
         if self.evaluation_interceptor is not None:
@@ -93,6 +163,39 @@ class PdpService(Host):
         for hook in self.on_decision:
             hook(request, decision)
         self.send(reply_to, "ac_response", decision.to_dict())
+
+    def _decide(self, request: AccessRequest,
+                keyed: Optional[tuple[str, str]] = None) -> dict:
+        """Serialized response for ``request``: cached, indexed, or overridden."""
+        if self.policy_override is not None:
+            # Compromised evaluation path: never consult or feed the cache.
+            response = self.policy_override.evaluate(
+                RequestContext.from_dict(request.content))
+            return {
+                "decision": response.decision.value,
+                "status_code": response.status_code,
+                "obligations": [ob.to_dict() for ob in response.obligations],
+            }
+        version, compiled = self._compiled_current()
+        key = None
+        if self.decision_cache is not None:
+            if keyed is not None and keyed[0] == version.fingerprint:
+                key = keyed[1]
+            else:
+                key = self.decision_cache.request_key(
+                    version.fingerprint, request.content, compiled.footprint)
+            cached = self.decision_cache.get(key)
+            if cached is not None:
+                return cached
+        response = compiled.pdp.evaluate(RequestContext.from_dict(request.content))
+        payload = {
+            "decision": response.decision.value,
+            "status_code": response.status_code,
+            "obligations": [ob.to_dict() for ob in response.obligations],
+        }
+        if key is not None:
+            self.decision_cache.put(key, version.fingerprint, payload)
+        return payload
 
 
 def _count_rules(document: dict) -> int:

@@ -6,19 +6,32 @@ sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — two concrete federation scenarios
-  (cross-border healthcare; ministry data sharing), each with its policy
-  set, population and expected decision mix.
+- :mod:`repro.workload.scenarios` — four concrete federation scenarios
+  (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
+  cross-cloud delegation), each with its policy set, population and
+  expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
-from repro.workload.scenarios import Scenario, healthcare_scenario, ministry_scenario
+from repro.workload.scenarios import (
+    SCENARIO_FACTORIES,
+    Scenario,
+    all_scenarios,
+    delegation_scenario,
+    healthcare_scenario,
+    iot_edge_scenario,
+    ministry_scenario,
+)
 
 __all__ = [
     "WorkloadConfig",
     "RequestGenerator",
     "GeneratedRequest",
+    "SCENARIO_FACTORIES",
     "Scenario",
+    "all_scenarios",
+    "delegation_scenario",
     "healthcare_scenario",
+    "iot_edge_scenario",
     "ministry_scenario",
 ]

@@ -11,9 +11,20 @@ Two scenarios modelled on the SUNFISH project's public-sector use cases:
   clearance; auditors read everything during office hours; writes require
   the owning tenant.
 
+Two further scenarios stress the PDP fast path from opposite ends:
+
+- :func:`iot_edge_scenario` — a high-fan-out IoT/edge federation: one
+  small policy per device-data class, so the policy tree is wide and flat
+  and any one request matches a single branch (the target index's best
+  case, the slow path's worst);
+- :func:`delegation_scenario` — cross-cloud delegation with deep PolicySet
+  nesting: cloud → domain → policy, clearance-attenuated delegate access,
+  so skipping must prove NoMatch through several target layers.
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
-the formal property checks.
+the formal property checks.  :func:`all_scenarios` returns one instance of
+every scenario for sweep-style tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -25,7 +36,16 @@ from repro.xacml.attributes import DataType
 from repro.xacml.context import Obligation
 from repro.xacml.expressions import Apply, AttributeDesignator, Literal
 from repro.xacml.parser import policy_to_dict
-from repro.xacml.policy import Effect, Policy, PolicySet, Rule, Target
+from repro.xacml.policy import (
+    AllOf,
+    AnyOf,
+    Effect,
+    Match,
+    Policy,
+    PolicySet,
+    Rule,
+    Target,
+)
 from repro.workload.generator import WorkloadConfig
 
 
@@ -43,6 +63,38 @@ class Scenario:
 def _designator(category: str, attribute_id: str,
                 data_type: str = DataType.STRING) -> AttributeDesignator:
     return AttributeDesignator(category, attribute_id, data_type)
+
+
+def _disjunction_target(category: str, attribute_id: str,
+                        values: tuple[str, ...]) -> Target:
+    """Target matching when the attribute equals *any* of ``values``."""
+    designator = _designator(category, attribute_id)
+    return Target(any_ofs=(AnyOf(all_ofs=tuple(
+        AllOf(matches=(Match("string-equal", value, designator),))
+        for value in values)),))
+
+
+def _action_is(action: str) -> Apply:
+    return Apply("any-of", (
+        Literal("string-equal"), Literal(action),
+        _designator("action", "action-id")))
+
+
+def _home_tenant() -> Apply:
+    """The request originates from the tenant owning the resource."""
+    return Apply("any-of-any", (
+        Literal("string-equal"),
+        _designator("environment", "origin-tenant"),
+        _designator("resource", "owner-tenant")))
+
+
+def _clearance_covers_sensitivity() -> Apply:
+    return Apply("integer-greater-than-or-equal", (
+        Apply("one-and-only", (
+            _designator("subject", "clearance", DataType.INTEGER),)),
+        Apply("one-and-only", (
+            _designator("resource", "sensitivity", DataType.INTEGER),)),
+    ))
 
 
 def healthcare_scenario() -> Scenario:
@@ -209,3 +261,240 @@ def ministry_scenario() -> Scenario:
         domain=domain,
         description="Finance and interior ministries share tax documents.",
     )
+
+
+#: Device-data classes of the IoT federation: type → (reader roles, writer
+#: roles).  Telemetry is written by devices and read by the back office;
+#: control surfaces are operated; admin artefacts belong to technicians.
+_IOT_DEVICE_CLASSES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "temperature": (("operator", "analyst"), ("sensor",)),
+    "humidity": (("operator", "analyst"), ("sensor",)),
+    "air-quality": (("operator", "analyst"), ("sensor",)),
+    "power-meter": (("operator", "analyst"), ("sensor",)),
+    "water-meter": (("operator", "analyst"), ("sensor",)),
+    "camera-feed": (("operator",), ("sensor",)),
+    "door-lock": (("operator", "technician"), ("operator",)),
+    "hvac-control": (("operator", "technician"), ("operator",)),
+    "valve-control": (("operator", "technician"), ("operator",)),
+    "firmware-image": (("technician", "analyst"), ("technician",)),
+    "device-config": (("technician", "analyst"), ("technician",)),
+    "diagnostics": (("technician", "analyst"), ("sensor", "technician")),
+}
+
+_IOT_AUDITED_CLASSES = ("door-lock", "firmware-image")
+
+
+def iot_edge_scenario() -> Scenario:
+    """High-fan-out IoT/edge federation: many small per-class policies.
+
+    The policy tree is wide and flat — one policy per device-data class —
+    so a request is relevant to exactly one branch.  The slow path still
+    walks all of them; the target index skips every class but the one the
+    request's resource type selects.
+    """
+    policies = []
+    for device_type, (readers, writers) in _IOT_DEVICE_CLASSES.items():
+        obligations = []
+        if device_type in _IOT_AUDITED_CLASSES:
+            obligations.append(Obligation(
+                f"audit-{device_type}", "Permit",
+                {"reason": "safety-critical device class"}))
+        policies.append(Policy(
+            policy_id=f"iot-{device_type}",
+            rule_combining="permit-overrides",
+            target=Target.single("string-equal", device_type, "resource", "type"),
+            rules=[
+                Rule(f"{device_type}-read", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", readers),
+                     condition=_action_is("read")),
+                Rule(f"{device_type}-write", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", writers),
+                     condition=_action_is("write")),
+            ],
+            obligations=obligations,
+            description=f"{device_type}: read {readers}, write {writers}.",
+        ))
+
+    root = PolicySet(
+        policy_set_id="iot-edge-federation",
+        policy_combining="deny-unless-permit",
+        children=policies,
+        description="Per-device-class access; everything else denied.",
+    )
+
+    roles = ("sensor", "technician", "operator", "analyst")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(_IOT_DEVICE_CLASSES))
+
+    workload = WorkloadConfig(
+        subjects=200,
+        resources=600,
+        roles=roles,
+        role_weights=(0.45, 0.15, 0.25, 0.15),
+        resource_types=tuple(_IOT_DEVICE_CLASSES),
+        actions=("read", "write"),
+        action_weights=(0.6, 0.4),
+    )
+    return Scenario(
+        name="iot-edge",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="Edge clouds exchange telemetry, control and firmware "
+                    "for a dozen device-data classes.",
+    )
+
+
+def delegation_scenario() -> Scenario:
+    """Cross-cloud delegation with deep PolicySet nesting.
+
+    Cloud A nests domain policy sets (root → cloud → domain → policy →
+    rule); delegates act across tenants with clearance-attenuated
+    authority (read only what their clearance covers).  Cloud B holds the
+    operational records.  Deep targets make the index prove NoMatch
+    through several layers instead of one.
+    """
+    delegate = Target.single("string-equal", "delegate", "subject", "role")
+
+    def domain_policy(policy_id: str, record_type: str, owner_role: str,
+                      obligations: list[Obligation]) -> Policy:
+        owner = Target.single("string-equal", owner_role, "subject", "role")
+        return Policy(
+            policy_id=policy_id,
+            rule_combining="first-applicable",
+            rules=[
+                Rule(f"{owner_role}-read", Effect.PERMIT,
+                     target=owner, condition=_action_is("read")),
+                Rule(f"{owner_role}-home-write", Effect.PERMIT,
+                     target=owner,
+                     condition=Apply("and", (_action_is("write"),
+                                             _home_tenant()))),
+                Rule("delegate-attenuated-read", Effect.PERMIT,
+                     target=delegate,
+                     condition=Apply("and", (_action_is("read"),
+                                             _clearance_covers_sensitivity()))),
+                Rule(f"{record_type}-default-deny", Effect.DENY),
+            ],
+            obligations=obligations,
+            description=f"{owner_role} owns {record_type}; delegates read "
+                        "within clearance.",
+        )
+
+    hr_domain = PolicySet(
+        policy_set_id="hr-domain",
+        policy_combining="first-applicable",
+        target=Target.single("string-equal", "hr-record", "resource", "type"),
+        children=[domain_policy(
+            "hr-records", "hr-record", "hr-officer",
+            [Obligation("record-delegated-access", "Permit",
+                        {"registry": "delegation-ledger"})])],
+    )
+    finance_domain = PolicySet(
+        policy_set_id="finance-domain",
+        policy_combining="first-applicable",
+        target=Target.single("string-equal", "finance-record", "resource", "type"),
+        children=[domain_policy("finance-records", "finance-record",
+                                "finance-officer", [])],
+    )
+    cloud_a = PolicySet(
+        policy_set_id="cloud-a",
+        policy_combining="permit-overrides",
+        target=_disjunction_target("resource", "type",
+                                   ("hr-record", "finance-record")),
+        children=[hr_domain, finance_domain],
+        description="Administrative records, delegated across tenants.",
+    )
+
+    ops_policy = Policy(
+        policy_id="ops-logs",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "ops-log", "resource", "type"),
+        rules=[
+            Rule("operator-read-write", Effect.PERMIT,
+                 target=Target.single("string-equal", "operator",
+                                      "subject", "role")),
+            Rule("auditor-read", Effect.PERMIT,
+                 target=Target.single("string-equal", "auditor",
+                                      "subject", "role"),
+                 condition=_action_is("read")),
+            Rule("ops-default-deny", Effect.DENY),
+        ],
+    )
+    audit_policy = Policy(
+        policy_id="audit-trails",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "audit-trail", "resource", "type"),
+        rules=[
+            Rule("auditor-read-trail", Effect.PERMIT,
+                 target=Target.single("string-equal", "auditor",
+                                      "subject", "role"),
+                 condition=_action_is("read")),
+            Rule("operator-home-append", Effect.PERMIT,
+                 target=Target.single("string-equal", "operator",
+                                      "subject", "role"),
+                 condition=Apply("and", (_action_is("write"), _home_tenant()))),
+            Rule("trail-default-deny", Effect.DENY),
+        ],
+        obligations=[Obligation("notify-audit-board", "Deny",
+                                {"channel": "compliance-queue"})],
+    )
+    cloud_b = PolicySet(
+        policy_set_id="cloud-b",
+        policy_combining="permit-overrides",
+        target=_disjunction_target("resource", "type",
+                                   ("ops-log", "audit-trail")),
+        children=[ops_policy, audit_policy],
+        description="Operational records of the hosting cloud.",
+    )
+
+    root = PolicySet(
+        policy_set_id="delegation-federation",
+        policy_combining="deny-unless-permit",
+        children=[cloud_a, cloud_b],
+        description="Two clouds, nested domains, clearance-attenuated "
+                    "delegation; everything else denied.",
+    )
+
+    roles = ("hr-officer", "finance-officer", "operator", "auditor", "delegate")
+    record_types = ("hr-record", "finance-record", "ops-log", "audit-trail")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("subject", "clearance", [1, 3, 5])
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(record_types))
+    domain.declare("resource", "sensitivity", [1, 3, 5])
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=80,
+        resources=240,
+        roles=roles,
+        role_weights=(0.25, 0.2, 0.2, 0.15, 0.2),
+        resource_types=record_types,
+        actions=("read", "write"),
+        action_weights=(0.75, 0.25),
+    )
+    return Scenario(
+        name="delegation",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="Cross-cloud delegation over nested administrative "
+                    "and operational domains.",
+    )
+
+
+def all_scenarios() -> list[Scenario]:
+    """One instance of every shipped scenario, in a stable order."""
+    return [factory() for factory in SCENARIO_FACTORIES]
+
+
+SCENARIO_FACTORIES = (
+    healthcare_scenario,
+    ministry_scenario,
+    iot_edge_scenario,
+    delegation_scenario,
+)

@@ -13,6 +13,8 @@ scenarios need, from scratch:
 - targets, rules, policies and policy sets (:mod:`policy`),
 - the six standard combining algorithms with XACML 3.0 extended
   indeterminate handling (:mod:`combining`),
+- a target index pre-compiling rule targets into attribute guards so
+  evaluation skips provably non-matching branches (:mod:`index`),
 - a PDP evaluator producing decisions plus obligations (:mod:`pdp`),
 - JSON (de)serialization for policies and requests (:mod:`parser`).
 """
@@ -35,6 +37,13 @@ from repro.xacml.expressions import (
 )
 from repro.xacml.policy import Match, AllOf, AnyOf, Target, Rule, Policy, PolicySet, Effect
 from repro.xacml.combining import RULE_COMBINING, POLICY_COMBINING
+from repro.xacml.index import (
+    IndexStats,
+    IndexedPolicy,
+    IndexedPolicySet,
+    attribute_footprint,
+    compile_target_index,
+)
 from repro.xacml.pdp import PolicyDecisionPoint
 from repro.xacml.parser import policy_to_dict, policy_from_dict, request_to_dict, request_from_dict
 
@@ -63,6 +72,11 @@ __all__ = [
     "Effect",
     "RULE_COMBINING",
     "POLICY_COMBINING",
+    "IndexStats",
+    "IndexedPolicy",
+    "IndexedPolicySet",
+    "attribute_footprint",
+    "compile_target_index",
     "PolicyDecisionPoint",
     "policy_to_dict",
     "policy_from_dict",

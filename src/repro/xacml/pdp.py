@@ -14,16 +14,24 @@ from typing import Union
 
 from repro.common.errors import PolicyError
 from repro.xacml.context import Decision, RequestContext, ResponseContext, StatusCode
+from repro.xacml.index import compile_target_index
 from repro.xacml.policy import Policy, PolicySet
 
 
 class PolicyDecisionPoint:
-    """Evaluates requests against a policy or policy set."""
+    """Evaluates requests against a policy or policy set.
 
-    def __init__(self, root: Union[Policy, PolicySet]) -> None:
+    With ``indexed=True`` the PDP compiles a target index
+    (:mod:`repro.xacml.index`) once and evaluates through it, skipping
+    rules and policy-set branches whose targets provably cannot match.
+    Decisions and obligations are bit-identical either way.
+    """
+
+    def __init__(self, root: Union[Policy, PolicySet], indexed: bool = False) -> None:
         if not isinstance(root, (Policy, PolicySet)):
             raise PolicyError(f"PDP root must be Policy or PolicySet, got {type(root)}")
         self.root = root
+        self.index = compile_target_index(root) if indexed else None
         self.evaluations = 0
 
     @property
@@ -35,8 +43,9 @@ class PolicyDecisionPoint:
     def evaluate(self, request: RequestContext) -> ResponseContext:
         """Produce the response context for one request."""
         self.evaluations += 1
+        evaluator = self.index if self.index is not None else self.root
         try:
-            decision, obligations = self.root.evaluate_full(request)
+            decision, obligations = evaluator.evaluate_full(request)
         except PolicyError as exc:
             return ResponseContext(
                 decision=Decision.INDETERMINATE,

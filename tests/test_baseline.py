@@ -1,7 +1,5 @@
 """The centralized-monitor baseline: equal detection, single point of failure."""
 
-import pytest
-
 from repro.baselines.central import attach_centralized_monitoring
 from repro.drams.alerts import AlertType
 from repro.harness import MonitoredFederation

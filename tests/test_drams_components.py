@@ -9,7 +9,6 @@ import pytest
 
 from repro.common.errors import CryptoError, ValidationError
 from repro.crypto.symmetric import SymmetricKey
-from repro.drams.contract import CONTRACT_NAME
 from repro.drams.logs import EntryType, LogEntry
 from repro.workload.scenarios import healthcare_scenario
 from repro.harness import MonitoredFederation

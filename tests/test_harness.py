@@ -1,7 +1,5 @@
 """The MonitoredFederation harness used by examples and benchmarks."""
 
-import pytest
-
 from repro.harness import MonitoredFederation
 from repro.workload.scenarios import healthcare_scenario
 from tests.conftest import fast_drams_config

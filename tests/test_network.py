@@ -3,7 +3,6 @@
 import pytest
 
 from repro.common.errors import NetworkError
-from repro.common.rng import SeededRng
 from repro.simnet.latency import (
     ConstantLatency,
     LanProfile,

@@ -1,7 +1,5 @@
 """Gossiping blockchain nodes on the simulated network."""
 
-import pytest
-
 from repro.blockchain.config import BlockchainConfig
 from repro.blockchain.contracts import ContractRegistry, KeyValueContract
 from repro.blockchain.node import BlockchainNode

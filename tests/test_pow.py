@@ -1,7 +1,5 @@
 """Proof-of-work: targets, grinding, retargeting."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

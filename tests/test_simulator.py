@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simnet.simulator import Simulator
 
 
 class TestScheduling:

@@ -1,0 +1,168 @@
+"""Target index: guard compilation, skip soundness, differential equality."""
+
+from hypothesis import given, settings, strategies as st
+
+from test_differential import documents, request_dicts
+
+from repro.xacml.context import Decision, RequestContext
+from repro.xacml.index import (
+    attribute_footprint,
+    compile_guard,
+    compile_target_index,
+)
+from repro.xacml.parser import policy_from_dict
+from repro.xacml.pdp import PolicyDecisionPoint
+from repro.xacml.policy import Effect, Policy, Rule, Target
+
+
+def typed_policy(rule_count: int = 8) -> Policy:
+    """One permit rule per resource type, plus a final deny."""
+    rules = [Rule(f"type-{i}", Effect.PERMIT,
+                  target=Target.single("string-equal", f"type-{i}",
+                                       "resource", "type"))
+             for i in range(rule_count)]
+    rules.append(Rule("fallback-deny", Effect.DENY))
+    return Policy(policy_id="typed", rule_combining="first-applicable",
+                  rules=rules)
+
+
+def request(**categories) -> RequestContext:
+    return RequestContext.from_dict(categories)
+
+
+class TestGuardCompilation:
+    def test_empty_target_has_no_guard(self):
+        assert compile_guard(Target.match_all()) is None
+
+    def test_single_equality_target_is_guarded(self):
+        guard = compile_guard(Target.single("string-equal", "doctor",
+                                            "subject", "role"))
+        assert guard is not None and len(guard) == 1
+        assert guard[0].attribute_id == "role"
+        assert guard[0].value == "doctor"
+
+    def test_non_equality_target_is_not_guarded(self):
+        guard = compile_guard(Target.single("integer-less-than", 3,
+                                            "subject", "clearance", "integer"))
+        assert guard is None
+
+    def test_mistyped_literal_is_not_guarded(self):
+        # string-equal against an integer literal raises at evaluation time
+        # (→ Indeterminate), so it must never be inverted into a guard.
+        guard = compile_guard(Target.single("string-equal", 7,
+                                            "subject", "role"))
+        assert guard is None
+
+
+class TestSkipSoundness:
+    def test_non_matching_rules_are_skipped(self):
+        index = compile_target_index(typed_policy())
+        decision, _ = index.evaluate_full(
+            request(resource={"type": ["type-3"]}))
+        assert decision is Decision.PERMIT
+        stats = index.stats
+        # 7 of the 8 typed rules skipped; the match and the unguarded
+        # fallback deny are evaluated.
+        assert stats.rules_skipped == 7
+        assert stats.rules_evaluated == 2
+
+    def test_empty_bag_skips(self):
+        index = compile_target_index(typed_policy())
+        decision, _ = index.evaluate_full(request(subject={"role": ["x"]}))
+        assert decision is Decision.DENY  # fallback
+        assert index.stats.rules_skipped == 8
+
+    def test_type_clash_never_skips(self):
+        # resource.type arrives as an integer bag: every string-equal match
+        # on it is Indeterminate, which skipping would silently erase.
+        plain = PolicyDecisionPoint(typed_policy())
+        indexed = PolicyDecisionPoint(typed_policy(), indexed=True)
+        req = request(resource={"type": [99]})
+        assert indexed.evaluate(req).to_dict() == plain.evaluate(req).to_dict()
+        assert indexed.index.stats.rules_skipped == 0
+
+    def test_multi_value_bag_matches(self):
+        index = compile_target_index(typed_policy())
+        decision, _ = index.evaluate_full(
+            request(resource={"type": ["other", "type-5"]}))
+        assert decision is Decision.PERMIT
+
+
+class TestAttributeFootprint:
+    def test_footprint_collects_targets_and_conditions(self):
+        from repro.workload.scenarios import ministry_scenario
+
+        root = policy_from_dict(ministry_scenario().policy_document)
+        footprint = attribute_footprint(root)
+        assert ("subject", "clearance") in footprint
+        assert ("environment", "time-of-day") in footprint
+        assert ("resource", "type") in footprint
+        assert ("subject", "shoe-size") not in footprint
+
+    def test_footprint_excludes_unreferenced(self):
+        root = typed_policy()
+        assert attribute_footprint(root) == frozenset({("resource", "type")})
+
+
+class TestSkippedChildObligations:
+    def test_notapplicable_obligations_survive_child_skip(self):
+        # fulfill_on is not validated, so a document may carry obligations
+        # owed on NotApplicable; the slow path returns them from a
+        # NoMatch child policy and skipping must not lose them.
+        from repro.xacml.context import Obligation
+        from repro.xacml.policy import PolicySet
+
+        child = Policy(
+            policy_id="guarded", rule_combining="first-applicable",
+            target=Target.single("string-equal", "ghost-type",
+                                 "resource", "type"),
+            rules=[Rule("allow", Effect.PERMIT)],
+            obligations=[Obligation("na-ob", "NotApplicable", {})])
+        root = PolicySet(policy_set_id="root",
+                         policy_combining="first-applicable",
+                         children=[child])
+        req = request(resource={"type": ["other"]})
+        plain = PolicyDecisionPoint(root)
+        indexed = PolicyDecisionPoint(root, indexed=True)
+        expected = plain.evaluate(req).to_dict()
+        got = indexed.evaluate(req).to_dict()
+        assert indexed.index.stats.children_skipped == 1
+        assert got == expected
+        assert got["obligations"] == [{"obligation_id": "na-ob",
+                                       "fulfill_on": "NotApplicable",
+                                       "attributes": {}}]
+
+
+def _with_obligations(document: dict, fulfill_on: str) -> dict:
+    """Attach obligations to every node so propagation is exercised too."""
+    document = dict(document)
+    document["obligations"] = [
+        {"obligation_id": f"ob-{document.get('policy_id', document.get('policy_set_id'))}",
+         "fulfill_on": fulfill_on, "attributes": {}}]
+    if document.get("kind") == "policy_set":
+        document["children"] = [_with_obligations(child, fulfill_on)
+                                for child in document["children"]]
+    return document
+
+
+class TestDifferentialIndex:
+    @given(documents, request_dicts())
+    @settings(max_examples=300, deadline=None)
+    def test_indexed_pdp_matches_plain_pdp(self, document, req):
+        plain = PolicyDecisionPoint(policy_from_dict(document))
+        indexed = PolicyDecisionPoint(policy_from_dict(document), indexed=True)
+        context = RequestContext.from_dict(req)
+        assert (indexed.evaluate(context).to_dict()
+                == plain.evaluate(context).to_dict()), (
+            f"index diverges on {req}\npolicy={document}")
+
+    @given(documents, request_dicts(),
+           st.sampled_from(["Permit", "Deny"]))
+    @settings(max_examples=150, deadline=None)
+    def test_obligations_survive_indexing(self, document, req, fulfill_on):
+        document = _with_obligations(document, fulfill_on)
+        plain = PolicyDecisionPoint(policy_from_dict(document))
+        indexed = PolicyDecisionPoint(policy_from_dict(document), indexed=True)
+        context = RequestContext.from_dict(req)
+        assert (indexed.evaluate(context).to_dict()
+                == plain.evaluate(context).to_dict())

@@ -11,7 +11,11 @@ from repro.metrics.recorder import LatencyRecorder, percentile
 from repro.metrics.tables import format_table
 from repro.threats.adversary import AttackRecord
 from repro.workload.generator import RequestGenerator, WorkloadConfig
-from repro.workload.scenarios import healthcare_scenario, ministry_scenario
+from repro.workload.scenarios import (
+    SCENARIO_FACTORIES,
+    healthcare_scenario,
+    ministry_scenario,
+)
 
 
 class TestWorkloadGenerator:
@@ -69,8 +73,7 @@ class TestWorkloadGenerator:
 
 
 class TestScenarios:
-    @pytest.mark.parametrize("scenario_factory",
-                             [healthcare_scenario, ministry_scenario])
+    @pytest.mark.parametrize("scenario_factory", SCENARIO_FACTORIES)
     def test_policy_documents_parse_and_evaluate(self, scenario_factory):
         scenario = scenario_factory()
         request = {"subject": {"role": ["doctor"]},
@@ -79,8 +82,7 @@ class TestScenarios:
         decision = evaluate_document(scenario.policy_document, request)
         assert decision in ("Permit", "Deny", "NotApplicable", "Indeterminate")
 
-    @pytest.mark.parametrize("scenario_factory",
-                             [healthcare_scenario, ministry_scenario])
+    @pytest.mark.parametrize("scenario_factory", SCENARIO_FACTORIES)
     def test_scenarios_are_complete_over_their_domains(self, scenario_factory):
         scenario = scenario_factory()
         report = check_completeness(scenario.policy_document, scenario.domain)
