@@ -1,0 +1,182 @@
+"""E10 — monitoring-plane fast path: monitored decisions/sec per layer.
+
+PR 1 made the PDP 2–4× faster, which moved the throughput ceiling into the
+monitoring plane: every decision spawns four log transactions that are
+signed, gossiped, mined, contract-executed and re-checked by the Analyser.
+This experiment toggles each fast-path layer
+(:mod:`repro.common.fastpath`) over full monitored-federation runs:
+
+- **baseline** — every layer off (seed behaviour),
+- **+encoding** — cached canonical encodings only,
+- **+verify** — once-per-node verification caches only (signature/Merkle
+  verified-sets, fixed-base exponentiation, PoW prefix grinding),
+- **+contract** — in-place contract execution only,
+- **+oracle** — compiled Analyser oracle only,
+- **fastpath** — all layers on (the deployed configuration).
+
+Measured per scenario: wall-clock time, end-to-end monitored decisions/sec
+(Analyser-checked decisions per wall second) and the sim-time
+log-confirmation latency.  The fast path must be *decision-preserving*:
+every arm's chain head hash, alert stream, PDP decision stream, commit
+latencies and Analyser counters are asserted bit-identical to baseline.
+Acceptance: the full fast path clears ≥3× baseline decisions/sec on at
+least two scenarios.
+
+``REPRO_BENCH_SMOKE=1`` shrinks workloads and relaxes the speedup floor
+(CI machines are noisy); the identity assertions always hold.
+"""
+
+import os
+import time
+
+from benchmarks.common import bench_chain_config, bench_drams_config, mean, p95, write_json_report
+from repro.common.fastpath import FastPathFlags, configured
+from repro.common.ids import reset_id_counter
+from repro.harness import MonitoredFederation
+from repro.metrics.tables import format_table
+from repro.workload.scenarios import (
+    audit_burst_scenario,
+    healthcare_scenario,
+    iot_edge_scenario,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SPEEDUP_FLOOR = 1.3 if SMOKE else 3.0
+SCENARIOS_REQUIRED = 1 if SMOKE else 2
+
+_OFF = FastPathFlags(
+    encoding_cache=False,
+    verify_cache=False,
+    contract_inplace=False,
+    compiled_oracle=False,
+).as_dict()
+
+ARMS = (
+    ("baseline", {}),
+    ("+encoding", {"encoding_cache": True}),
+    ("+verify", {"verify_cache": True}),
+    ("+contract", {"contract_inplace": True}),
+    ("+oracle", {"compiled_oracle": True}),
+    (
+        "fastpath",
+        {
+            "encoding_cache": True,
+            "verify_cache": True,
+            "contract_inplace": True,
+            "compiled_oracle": True,
+        },
+    ),
+)
+
+
+def _workloads():
+    """(scenario factory, requests, sim horizon, drams config) per workload.
+
+    audit-burst runs under tight block caps so assembly limits actually
+    bind (that is the scenario's point); the other two use the standard
+    bench chain.
+    """
+    scale = 0.5 if SMOKE else 1.0
+    burst_chain = bench_chain_config(max_block_txs=24, max_block_bytes=32_000)
+    return (
+        (healthcare_scenario, int(30 * scale), 90.0, bench_drams_config()),
+        (iot_edge_scenario, int(30 * scale), 90.0, bench_drams_config()),
+        (audit_burst_scenario, int(120 * scale), 45.0, bench_drams_config(chain=burst_chain)),
+    )
+
+
+def run_arm(scenario_factory, requests, horizon, drams_config, overrides) -> dict:
+    """One full monitored run under the given fast-path layer set."""
+    flags = dict(_OFF)
+    flags.update(overrides)
+    reset_id_counter()  # identical tx ids across arms → comparable chains
+    with configured(**flags):
+        start = time.perf_counter()
+        stack = MonitoredFederation.build(
+            scenario_factory(), clouds=2, seed=70, with_drams=True, drams_config=drams_config
+        )
+        stack.start()
+        stack.issue_requests(requests)
+        stack.run(until=horizon)
+        wall = time.perf_counter() - start
+    drams = stack.drams
+    commits = drams.commit_latencies()
+    checked = drams.analyser.checked
+    return {
+        "wall": wall,
+        "decisions_per_s": checked / wall if wall > 0 else float("inf"),
+        "commit_mean_s": mean(commits),
+        "commit_p95_s": p95(commits),
+        "fingerprint": {
+            "head": drams.reference_chain().head.hash,
+            "height": drams.reference_chain().height,
+            "alerts": [
+                (a.alert_type.value, a.correlation_id, a.block_height) for a in drams.alerts.all()
+            ],
+            "decisions": [
+                (o.request.request_id, o.decision.decision, o.granted) for o in stack.outcomes
+            ],
+            "commits": sorted(commits),
+            "checked": checked,
+            "violations": drams.analyser.violations_reported,
+            "monitor_stats": dict(drams.monitor_state()["stats"]),
+        },
+    }
+
+
+def test_e10_monitoring_fastpath(report):
+    rows = []
+    json_rows = []
+    fastpath_speedups = {}
+    for scenario_factory, requests, horizon, drams_config in _workloads():
+        name = scenario_factory().name
+        baseline = None
+        for arm, overrides in ARMS:
+            result = run_arm(scenario_factory, requests, horizon, drams_config, overrides)
+            if baseline is None:
+                baseline = result
+            # Zero divergence: every layer combination reproduces the
+            # baseline chain, alerts and decisions bit for bit.
+            assert result["fingerprint"] == baseline["fingerprint"], f"{arm} diverged on {name}"
+            speedup = result["decisions_per_s"] / baseline["decisions_per_s"]
+            if arm == "fastpath":
+                fastpath_speedups[name] = speedup
+            rows.append(
+                {
+                    "scenario": name,
+                    "arm": arm,
+                    "wall_s": round(result["wall"], 2),
+                    "decisions_per_s": round(result["decisions_per_s"], 1),
+                    "speedup": round(speedup, 2),
+                    "commit_mean_s": round(result["commit_mean_s"], 2),
+                    "commit_p95_s": round(result["commit_p95_s"], 2),
+                    "head": result["fingerprint"]["head"][:12],
+                }
+            )
+            json_rows.append(
+                {
+                    "scenario": name,
+                    "arm": arm,
+                    "wall_s": result["wall"],
+                    "decisions_per_s": result["decisions_per_s"],
+                    "speedup": speedup,
+                    "commit_mean_s": result["commit_mean_s"],
+                    "commit_p95_s": result["commit_p95_s"],
+                    "requests": requests,
+                }
+            )
+    mode = ", smoke" if SMOKE else ""
+    table = format_table(rows, title=f"E10: monitoring-plane fast path (per-layer toggles{mode})")
+    report("e10_monitoring_fastpath", table)
+    write_json_report(
+        "e10",
+        {
+            "rows": json_rows,
+            "fastpath_speedups": fastpath_speedups,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+
+    # Acceptance: ≥3× monitored decisions/sec (full mode) on ≥2 scenarios.
+    cleared = [name for name, speedup in fastpath_speedups.items() if speedup >= SPEEDUP_FLOOR]
+    assert len(cleared) >= SCENARIOS_REQUIRED, f"speedups too small: {fastpath_speedups}"

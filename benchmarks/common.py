@@ -5,21 +5,33 @@ Every benchmark prints its regenerated table/series through
 shape* the paper claims (who wins, what grows) rather than absolute
 numbers — our substrate is a simulator, not the authors' testbed.
 
-Experiment ids (E1..E8) map to DESIGN.md's experiment index.
+Experiment ids (E1..E10) map to DESIGN.md's experiment index.  Benchmarks
+with quantitative acceptance bars additionally persist a machine-readable
+record via :func:`write_json_report` so CI can archive the perf trajectory.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
 
 from repro.blockchain.config import BlockchainConfig
 from repro.drams.system import DramsConfig
 from repro.harness import MonitoredFederation
 from repro.workload.scenarios import Scenario, healthcare_scenario
 
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
-def bench_chain_config(difficulty_bits: float = 10.0,
-                       target_block_interval: float = 0.5,
-                       confirmations: int = 2,
-                       **overrides) -> BlockchainConfig:
+
+def bench_chain_config(
+    difficulty_bits: float = 10.0,
+    target_block_interval: float = 0.5,
+    confirmations: int = 2,
+    **overrides,
+) -> BlockchainConfig:
     defaults = dict(
         chain_id="bench-chain",
         difficulty_bits=difficulty_bits,
@@ -47,15 +59,42 @@ def bench_drams_config(**overrides) -> DramsConfig:
     return DramsConfig(**defaults)
 
 
-def build_stack(scenario: Scenario | None = None, clouds: int = 2,
-                seed: int = 7, with_drams: bool = True,
-                drams_config: DramsConfig | None = None) -> MonitoredFederation:
+def build_stack(
+    scenario: Scenario | None = None,
+    clouds: int = 2,
+    seed: int = 7,
+    with_drams: bool = True,
+    drams_config: DramsConfig | None = None,
+) -> MonitoredFederation:
     stack = MonitoredFederation.build(
-        scenario or healthcare_scenario(), clouds=clouds, seed=seed,
+        scenario or healthcare_scenario(),
+        clouds=clouds,
+        seed=seed,
         with_drams=with_drams,
-        drams_config=drams_config or bench_drams_config())
+        drams_config=drams_config or bench_drams_config(),
+    )
     stack.start()
     return stack
+
+
+def write_json_report(experiment_id: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark record to ``BENCH_<id>.json``.
+
+    The text tables in ``benchmarks/results/*.txt`` are for humans; this
+    JSON sibling is for the perf trajectory: CI uploads it as an artifact,
+    so speedups can be compared across commits instead of eyeballed.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{experiment_id}.json"
+    record = {
+        "experiment": experiment_id,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": platform.python_version(),
+        "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
+    }
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def mean(values) -> float:

@@ -96,9 +96,14 @@ class DecisionCache:
     @staticmethod
     def _copy_response(response: dict) -> dict:
         # Decisions flow into mutable AccessDecision payloads; hand out
-        # copies so a consumer can never corrupt the cached entry.
+        # copies so a consumer can never corrupt the cached entry.  The
+        # nested obligation attributes must be copied too, or a consumer
+        # mutating them would poison every later cache hit.
         copied = dict(response)
-        copied["obligations"] = [dict(ob) for ob in response.get("obligations", [])]
+        copied["obligations"] = [
+            {**ob, "attributes": dict(ob.get("attributes", {}))}
+            for ob in response.get("obligations", [])
+        ]
         return copied
 
     # -- invalidation ------------------------------------------------------------

@@ -6,7 +6,10 @@ shares no code with the object-model evaluator the PDP runs — different
 data structures, different traversal — which is the point: the Analyser
 needs an oracle whose failure modes are independent of the monitored
 component's.  Differential property tests (``tests/test_differential.py``)
-pin the two implementations to each other.
+pin the two implementations to each other.  :class:`DecisionOracle` layers
+a *compiled* fast path on top (one target-index compilation per policy
+version); the interpreter below remains the definitional reference that
+path is pinned against.
 
 The semantics is the XACML 3.0 one:
 
@@ -20,9 +23,13 @@ The semantics is the XACML 3.0 one:
 from __future__ import annotations
 
 import re
-from typing import Any
+from typing import Any, Optional
 
 from repro.common.errors import PolicyError
+from repro.common.fastpath import FLAGS
+from repro.xacml.context import RequestContext
+from repro.xacml.index import compile_target_index
+from repro.xacml.parser import policy_from_dict
 
 # Three-valued match outcomes.
 _T, _F, _E = "T", "F", "E"
@@ -399,17 +406,46 @@ def _eval_element(document: dict, request: dict) -> str:
 
 
 class DecisionOracle:
-    """The Analyser's reference semantics for a fixed policy document."""
+    """The Analyser's oracle for a fixed policy document.
 
-    def __init__(self, document: dict) -> None:
+    Two evaluation modes share this interface:
+
+    - **interpreted** (``compiled=False``): :func:`evaluate_document`, the
+      denotational reference semantics above — an interpreter over the
+      serialized document, sharing no code with the PDP;
+    - **compiled** (the fast path, default per
+      :data:`repro.common.fastpath.FLAGS.compiled_oracle`): the document is
+      compiled *once per policy version* into the object model and the
+      target index (:mod:`repro.xacml.index`), so each checked decision
+      costs an indexed evaluation instead of a full document-tree
+      interpretation.
+
+    The compiled mode trades the interpreter's independence for
+    throughput, which is sound because the two are pinned to each other:
+    ``tests/test_differential.py`` holds interpreter ≡ object model on
+    random policy trees, ``tests/test_target_index.py`` holds object model
+    ≡ index, and the oracle's own differential tests close the loop per
+    scenario.  Analyser deployments that want the independent failure
+    modes back simply run with the flag off.
+    """
+
+    def __init__(self, document: dict, compiled: Optional[bool] = None) -> None:
         if document.get("kind") not in ("policy", "policy_set"):
             raise PolicyError("oracle needs a serialized policy document")
         self.document = document
         self.checks = 0
+        self.compiled = FLAGS.compiled_oracle if compiled is None else compiled
+        self._index = None
+        if self.compiled:
+            self._index = compile_target_index(policy_from_dict(document))
 
     def expected_decision(self, request: dict) -> str:
         """The decision the policies entail for ``request``."""
         self.checks += 1
+        if self._index is not None:
+            decision, _obligations = self._index.evaluate_full(
+                RequestContext.from_dict(request))
+            return decision.collapse().value
         return evaluate_document(self.document, request)
 
     def verify(self, request: dict, observed_decision: str) -> bool:

@@ -5,6 +5,13 @@ content hashes, the mining difficulty, timestamp and nonce; the block hash
 is the SHA-256 of the canonical header encoding.  Miners additionally sign
 blocks (a permissioned-chain touch: every block is attributable to a
 federation node).
+
+Fast path: with :data:`repro.common.fastpath.FLAGS.encoding_cache` on, the
+header hash is memoised against the exact field values it was computed
+from (so in-place header edits — mining sets the Merkle root and nonce
+after construction, the fork-choice tests forge fields deliberately —
+always invalidate it), and the Merkle root / body size reuse the
+transactions' frozen content hashes and sizes.
 """
 
 from __future__ import annotations
@@ -13,7 +20,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.errors import ValidationError
-from repro.common.serialization import canonical_bytes
+from repro.common.fastpath import FLAGS
+from repro.common.serialization import canonical_bytes, canonical_json
 from repro.crypto.hashing import sha256_hex
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
@@ -39,18 +47,67 @@ class BlockHeader:
         before and after a serialization round-trip (canonical JSON
         distinguishes ``10`` from ``10.0``).
         """
-        return canonical_bytes({
-            "height": int(self.height),
-            "prev_hash": self.prev_hash,
-            "merkle_root": self.merkle_root,
-            "timestamp": float(self.timestamp),
-            "difficulty_bits": float(self.difficulty_bits),
-            "miner": self.miner,
-            "nonce": int(nonce),
-        })
+        return canonical_bytes(
+            {
+                "height": int(self.height),
+                "prev_hash": self.prev_hash,
+                "merkle_root": self.merkle_root,
+                "timestamp": float(self.timestamp),
+                "difficulty_bits": float(self.difficulty_bits),
+                "miner": self.miner,
+                "nonce": int(nonce),
+            }
+        )
+
+    def nonce_parts(self) -> tuple[bytes, bytes]:
+        """``(prefix, suffix)`` such that ``prefix + str(n) + suffix`` equals
+        :meth:`bytes_for_nonce` for every nonce ``n``.
+
+        Canonical JSON emits keys in sorted order, so the keys before and
+        after ``"nonce"`` are fixed; grinding then hashes two constant byte
+        strings around the changing nonce instead of re-rendering the whole
+        header per attempt (pinned to :meth:`bytes_for_nonce` by property
+        tests).
+        """
+        head = canonical_json(
+            {
+                "difficulty_bits": float(self.difficulty_bits),
+                "height": int(self.height),
+                "merkle_root": self.merkle_root,
+                "miner": self.miner,
+            }
+        )
+        tail = canonical_json(
+            {
+                "prev_hash": self.prev_hash,
+                "timestamp": float(self.timestamp),
+            }
+        )
+        prefix = head[:-1] + ',"nonce":'
+        suffix = "," + tail[1:]
+        return prefix.encode("utf-8"), suffix.encode("utf-8")
+
+    def _hash_key(self) -> tuple:
+        return (
+            self.height,
+            self.prev_hash,
+            self.merkle_root,
+            self.timestamp,
+            self.difficulty_bits,
+            self.miner,
+            self.nonce,
+        )
 
     def block_hash(self) -> str:
-        return sha256_hex(self.bytes_for_nonce(self.nonce))
+        if not FLAGS.encoding_cache:
+            return sha256_hex(self.bytes_for_nonce(self.nonce))
+        key = self._hash_key()
+        memo = getattr(self, "_hash_memo", None)
+        if memo is not None and memo[0] == key:
+            return memo[1]
+        digest = sha256_hex(self.bytes_for_nonce(self.nonce))
+        self._hash_memo = (key, digest)
+        return digest
 
     def to_dict(self) -> dict:
         return {
@@ -96,7 +153,7 @@ class Block:
         return self.header.block_hash()
 
     def compute_merkle_root(self) -> str:
-        return MerkleTree([tx.content_hash() for tx in self.transactions]).root
+        return MerkleTree.root_of([tx.content_hash() for tx in self.transactions])
 
     def body_size_bytes(self) -> int:
         return sum(tx.size_bytes() for tx in self.transactions)
@@ -120,8 +177,11 @@ class Block:
     @classmethod
     def from_dict(cls, data: dict) -> "Block":
         try:
-            signature = (Signature.from_dict(data["miner_signature"])
-                         if data.get("miner_signature") else None)
+            signature = (
+                Signature.from_dict(data["miner_signature"])
+                if data.get("miner_signature")
+                else None
+            )
             return cls(
                 header=BlockHeader.from_dict(data["header"]),
                 transactions=[Transaction.from_dict(tx) for tx in data["transactions"]],

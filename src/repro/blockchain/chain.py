@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.common.errors import ValidationError
+from repro.common.fastpath import FLAGS
 from repro.crypto.hashing import hash_value
 from repro.crypto.signatures import SigningKey, VerifyingKey
 from repro.blockchain.block import Block, BlockHeader, make_genesis
@@ -30,7 +31,7 @@ from repro.blockchain.contracts import (
     ExecutionReceipt,
 )
 from repro.blockchain.mempool import Mempool
-from repro.blockchain.pow import grind_nonce, meets_target, retarget
+from repro.blockchain.pow import grind_nonce, grind_nonce_parts, meets_target, retarget
 from repro.blockchain.transaction import Transaction
 
 EventSubscriber = Callable[[ContractEvent, str], None]
@@ -70,6 +71,10 @@ class Blockchain:
     """
 
     SNAPSHOT_INTERVAL = 25
+    #: Verified-set entries kept before a cache resets.  A reset is always
+    #: safe — the next validation simply re-verifies — so this just bounds
+    #: memory on very long runs (cf. the LRU bound on the decision cache).
+    VERIFY_CACHE_LIMIT = 200_000
 
     def __init__(self, config: BlockchainConfig, registry: ContractRegistry,
                  key_lookup: Optional[KeyLookup] = None,
@@ -91,6 +96,16 @@ class Blockchain:
         self._difficulty_cache: dict[str, float] = {self.genesis.hash: config.difficulty_bits}
         self._snapshots: dict[str, _Snapshot] = {}
         self._orphaned_txs: dict[str, Transaction] = {}
+        # Once-per-node verification caches (fast path): a signature or a
+        # block body is cryptographically checked at most once per chain
+        # replica, however many admission checks, block validations or
+        # block templates revisit it.  Keys commit to the full verified
+        # content (content hash + signature values + verifying key for
+        # transactions; block hash + body leaf hashes for Merkle roots),
+        # so a cache hit proves the exact bytes were already checked —
+        # tampering with a cached object always misses the cache.
+        self._verified_tx_keys: set[tuple] = set()
+        self._merkle_verified: set[tuple] = set()
         self.reorgs = 0
         self.rejected_blocks = 0
         self._take_snapshot(self.genesis.hash, 0)
@@ -177,8 +192,13 @@ class Blockchain:
                 f"height {header.height} does not extend parent height {parent.height}")
         if header.timestamp < parent.header.timestamp:
             raise ChainValidationError("timestamp decreases along the chain")
-        if block.compute_merkle_root() != header.merkle_root:
-            raise ChainValidationError("merkle root does not match block body")
+        if not (FLAGS.verify_cache and self._merkle_key(block) in self._merkle_verified):
+            if block.compute_merkle_root() != header.merkle_root:
+                raise ChainValidationError("merkle root does not match block body")
+            if FLAGS.verify_cache:
+                if len(self._merkle_verified) >= self.VERIFY_CACHE_LIMIT:
+                    self._merkle_verified.clear()
+                self._merkle_verified.add(self._merkle_key(block))
         if len(block.transactions) > self.config.max_block_txs:
             raise ChainValidationError("too many transactions in block")
         if block.body_size_bytes() > self.config.max_block_bytes:
@@ -201,14 +221,28 @@ class Blockchain:
             if miner_key is None or not block.verify_miner_signature(miner_key):
                 raise ChainValidationError(f"bad miner signature from {header.miner}")
 
+    @staticmethod
+    def _merkle_key(block: Block) -> tuple:
+        """Verified-set key: header hash plus the body's (cached) leaves."""
+        return (block.hash, tuple(tx.content_hash() for tx in block.transactions))
+
     def _validate_tx_signature(self, tx: Transaction) -> None:
         if not self.require_signatures:
             return
         key = self.key_lookup(tx.sender) if self.key_lookup else None
         if key is None:
             raise ChainValidationError(f"unknown transaction sender {tx.sender!r}")
+        cache_key = None
+        if FLAGS.verify_cache and tx.signature is not None:
+            cache_key = (tx.content_hash(), tx.signature.e, tx.signature.s, key.y)
+            if cache_key in self._verified_tx_keys:
+                return
         if not tx.verify(key):
             raise ChainValidationError(f"invalid signature on tx {tx.tx_id}")
+        if cache_key is not None:
+            if len(self._verified_tx_keys) >= self.VERIFY_CACHE_LIMIT:
+                self._verified_tx_keys.clear()
+            self._verified_tx_keys.add(cache_key)
 
     def validate_transaction(self, tx: Transaction) -> bool:
         """Admission check used by mempools (signature + not already final)."""
@@ -358,13 +392,24 @@ class Blockchain:
         block = Block(header=header, transactions=list(transactions))
         header.merkle_root = block.compute_merkle_root()
         if self.config.pow_mode == "real":
-            found = grind_nonce(header.bytes_for_nonce, difficulty,
-                                max_attempts=max_grind_attempts)
+            if FLAGS.verify_cache:
+                prefix, suffix = header.nonce_parts()
+                found = grind_nonce_parts(prefix, suffix, difficulty,
+                                          max_attempts=max_grind_attempts)
+            else:
+                found = grind_nonce(header.bytes_for_nonce, difficulty,
+                                    max_attempts=max_grind_attempts)
             if found is None:
                 raise ChainValidationError("mining attempt budget exhausted")
             header.nonce = found[0]
         if signing_key is not None:
             block.sign(signing_key)
+        if FLAGS.verify_cache:
+            # The miner just derived the root from this very body; its own
+            # validation pass need not recompute it.
+            if len(self._merkle_verified) >= self.VERIFY_CACHE_LIMIT:
+                self._merkle_verified.clear()
+            self._merkle_verified.add(self._merkle_key(block))
         return block
 
     def collect_block_txs(self, mempool: Mempool) -> list[Transaction]:

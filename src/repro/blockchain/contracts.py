@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.common.errors import ValidationError
+from repro.common.fastpath import FLAGS
 from repro.common.serialization import canonical_bytes
 
 
@@ -68,6 +69,13 @@ class Contract(ABC):
     #: Stable name under which the contract is deployed.
     name: str = ""
 
+    #: Declares that ``invoke`` validates its inputs and raises
+    #: :class:`ContractError` *before* mutating any state, so the engine's
+    #: fast path may execute it directly on the live state (no per-call
+    #: deep copy) without losing revert-on-error semantics.  Leave False
+    #: for contracts that can fail mid-mutation.
+    checked_invoke: bool = False
+
     @abstractmethod
     def initial_state(self) -> dict[str, Any]:
         """Fresh state at deployment (genesis)."""
@@ -86,6 +94,7 @@ class KeyValueContract(Contract):
     """Minimal contract used by tests and examples: a guarded KV store."""
 
     name = "kvstore"
+    checked_invoke = True
 
     def initial_state(self) -> dict[str, Any]:
         return {"data": {}, "writes": 0}
@@ -182,10 +191,20 @@ class ContractEngine:
 
     def execute(self, contract_name: str, method: str, args: dict[str, Any],
                 ctx: ContractContext) -> ExecutionReceipt:
-        """Run one invocation transactionally (state reverts on error)."""
+        """Run one invocation transactionally (state reverts on error).
+
+        Slow path: the invocation runs on a deep copy of the contract's
+        state, which replaces the live state only on success.  Fast path
+        (``FLAGS.contract_inplace``, contracts declaring
+        ``checked_invoke``): the invocation runs directly on live state —
+        safe because such contracts raise before mutating, so a failed
+        invocation has by construction changed nothing.  Receipts and
+        events are identical either way.
+        """
         contract = self.registry.get(contract_name)
         state = self._state[contract_name]
-        scratch = copy.deepcopy(state)
+        in_place = FLAGS.contract_inplace and contract.checked_invoke
+        scratch = state if in_place else copy.deepcopy(state)
         events: list[ContractEvent] = []
 
         def emit(name: str, payload: dict[str, Any]) -> None:
@@ -199,7 +218,8 @@ class ContractEngine:
         except ContractError as exc:
             self.gas_used_total += gas
             return ExecutionReceipt(tx_id=ctx.tx_id, ok=False, error=str(exc), gas_used=gas)
-        self._state[contract_name] = scratch
+        if not in_place:
+            self._state[contract_name] = scratch
         self.gas_used_total += gas
         return ExecutionReceipt(tx_id=ctx.tx_id, ok=True, result=result,
                                 gas_used=gas, events=events)

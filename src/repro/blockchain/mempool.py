@@ -3,6 +3,11 @@
 FIFO with replay protection: a transaction already included in the chain
 (or already pending) is rejected by ``tx_id``, and per-sender sequence
 numbers must strictly increase across included transactions.
+
+Fast path: the serialized size of a transaction is fixed at admission
+(sizes are a pure function of the signed content), so :meth:`Mempool.peek`
+reuses the admission-time size instead of re-serialising the whole pool on
+every block template.
 """
 
 from __future__ import annotations
@@ -10,6 +15,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from repro.common.fastpath import FLAGS
 from repro.blockchain.transaction import Transaction
 
 
@@ -19,6 +25,7 @@ class Mempool:
     def __init__(self, max_size: int = 100_000) -> None:
         self.max_size = max_size
         self._pool: "OrderedDict[str, Transaction]" = OrderedDict()
+        self._sizes: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._pool)
@@ -31,23 +38,30 @@ class Mempool:
         if tx.tx_id in self._pool or len(self._pool) >= self.max_size:
             return False
         self._pool[tx.tx_id] = tx
+        self._sizes[tx.tx_id] = tx.size_bytes()
         return True
 
     def remove_all(self, tx_ids: Iterable[str]) -> None:
         """Drop transactions that made it into a block."""
         for tx_id in tx_ids:
             self._pool.pop(tx_id, None)
+            self._sizes.pop(tx_id, None)
 
-    def peek(self, max_txs: int, max_bytes: int,
-             exclude: Optional[set[str]] = None) -> list[Transaction]:
+    def peek(
+        self,
+        max_txs: int,
+        max_bytes: int,
+        exclude: Optional[set[str]] = None,
+    ) -> list[Transaction]:
         """FIFO selection honouring block-size limits (pool is unchanged)."""
         selected: list[Transaction] = []
         total = 0
         skip = exclude or set()
+        cached_sizes = self._sizes if FLAGS.encoding_cache else None
         for tx in self._pool.values():
             if tx.tx_id in skip:
                 continue
-            size = tx.size_bytes()
+            size = cached_sizes[tx.tx_id] if cached_sizes is not None else tx.size_bytes()
             if len(selected) >= max_txs or total + size > max_bytes:
                 break
             selected.append(tx)

@@ -134,7 +134,10 @@ class BlockchainNode(Host):
                 self.send(message.src, "bc_block_request",
                           {"hash": block.header.prev_hash})
             return
-        self._accept_block(block, relay_exclude=message.src)
+        # Relay the wire payload we already hold instead of re-serialising
+        # the block (the gossip dict is content-identical either way).
+        self._accept_block(block, relay_exclude=message.src,
+                           payload=message.payload)
 
     def _handle_block_request(self, message: Message) -> None:
         block = self.chain.get_block(message.payload.get("hash", ""))
@@ -142,7 +145,8 @@ class BlockchainNode(Host):
             return
         self.send(message.src, "bc_block", block.to_dict())
 
-    def _accept_block(self, block: Block, relay_exclude: Optional[str] = None) -> None:
+    def _accept_block(self, block: Block, relay_exclude: Optional[str] = None,
+                      payload: Optional[dict] = None) -> None:
         old_head = self.chain.head.hash
         self._requested_parents.discard(block.hash)
         try:
@@ -151,7 +155,8 @@ class BlockchainNode(Host):
             self.invalid_blocks_seen += 1
             return
         self.mempool.remove_all(tx.tx_id for tx in block.transactions)
-        self._gossip("bc_block", block.to_dict(), exclude=relay_exclude)
+        self._gossip("bc_block", payload if payload is not None else block.to_dict(),
+                     exclude=relay_exclude)
         # Reconnect any orphan waiting on this block.
         child = self._orphans.pop(block.hash, None)
         if child is not None and child.hash not in self._seen_blocks:

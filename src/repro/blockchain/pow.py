@@ -8,7 +8,9 @@ Two production modes share these primitives:
 
 - **real**: :func:`grind_nonce` iterates nonces until the header hash meets
   the target — actual SHA-256 work, used to validate that the statistical
-  model matches reality (experiment E3);
+  model matches reality (experiment E3); the fast path
+  (:func:`grind_nonce_parts`) hashes a precomputed header prefix + nonce +
+  suffix instead of re-rendering the header per attempt;
 - **simulated**: block discovery times are drawn from the exponential
   distribution with rate ``hashrate / expected_hashes(bits)`` — the standard
   memoryless model of PoW — letting experiments sweep difficulties far
@@ -34,7 +36,7 @@ def target_for_bits(difficulty_bits: float) -> int:
     frac = difficulty_bits - whole
     target = MAX_TARGET >> whole
     if frac:
-        target = int(target / (2.0 ** frac))
+        target = int(target / (2.0**frac))
     return max(target, 1)
 
 
@@ -48,10 +50,12 @@ def expected_hashes(difficulty_bits: float) -> float:
     return float(MAX_TARGET) / float(target_for_bits(difficulty_bits))
 
 
-def grind_nonce(header_bytes_for_nonce: Callable[[int], bytes],
-                difficulty_bits: float,
-                max_attempts: Optional[int] = None,
-                start_nonce: int = 0) -> Optional[tuple[int, str, int]]:
+def grind_nonce(
+    header_bytes_for_nonce: Callable[[int], bytes],
+    difficulty_bits: float,
+    max_attempts: Optional[int] = None,
+    start_nonce: int = 0,
+) -> Optional[tuple[int, str, int]]:
     """Search nonces until the header hash meets the target.
 
     ``header_bytes_for_nonce`` renders the header with a candidate nonce.
@@ -70,9 +74,43 @@ def grind_nonce(header_bytes_for_nonce: Callable[[int], bytes],
     return None
 
 
-def retarget(difficulty_bits: float, actual_interval: float,
-             target_interval: float, *, max_step: float = 2.0,
-             floor_bits: float = 1.0, ceil_bits: float = 64.0) -> float:
+def grind_nonce_parts(
+    prefix: bytes,
+    suffix: bytes,
+    difficulty_bits: float,
+    max_attempts: Optional[int] = None,
+    start_nonce: int = 0,
+) -> Optional[tuple[int, str, int]]:
+    """Fast-path grinding over a pre-rendered header.
+
+    ``prefix``/``suffix`` come from
+    :meth:`repro.blockchain.block.BlockHeader.nonce_parts`: the canonical
+    header bytes before and after the nonce are constant across attempts,
+    so each attempt hashes ``prefix + str(nonce) + suffix`` instead of
+    re-encoding the header.  Hashes (and therefore the nonce found) are
+    identical to :func:`grind_nonce` over the same header.
+    """
+    target = target_for_bits(difficulty_bits)
+    nonce = start_nonce
+    attempts = 0
+    while max_attempts is None or attempts < max_attempts:
+        digest = sha256_hex(prefix + str(nonce).encode("ascii") + suffix)
+        attempts += 1
+        if int(digest, 16) < target:
+            return nonce, digest, attempts
+        nonce += 1
+    return None
+
+
+def retarget(
+    difficulty_bits: float,
+    actual_interval: float,
+    target_interval: float,
+    *,
+    max_step: float = 2.0,
+    floor_bits: float = 1.0,
+    ceil_bits: float = 64.0,
+) -> float:
     """Adjust difficulty so block intervals drift toward the target.
 
     ``actual_interval`` is the mean observed interval across the retarget

@@ -4,6 +4,16 @@ A transaction is a call ``contract.method(args)`` submitted by a federation
 component (usually a Logging Interface writing a log entry).  Transactions
 are Schnorr-signed by the sender; nodes reject invalid signatures, which is
 what makes the on-chain audit trail non-repudiable.
+
+Fast path: the canonical encoding of the signed content is a pure function
+of ``(sender, contract, method, args, seq, tx_id)``, and every consumer —
+signing, signature checks, the content hash used as the Merkle leaf, the
+size accounting in mempools and block assembly — needs exactly those bytes.
+With :data:`repro.common.fastpath.FLAGS.encoding_cache` on, the encoding is
+frozen on first use; the covered fields must then be treated as immutable.
+Use :meth:`Transaction.replace` to derive a modified transaction (including
+tampered ones in the threat experiments) — it returns a fresh instance with
+fresh caches.
 """
 
 from __future__ import annotations
@@ -12,10 +22,15 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.common.errors import ValidationError
+from repro.common.fastpath import FLAGS
 from repro.common.ids import new_id
 from repro.common.serialization import canonical_bytes
-from repro.crypto.hashing import hash_value
+from repro.crypto.hashing import sha256_hex
 from repro.crypto.signatures import Signature, SigningKey, VerifyingKey
+
+#: Flat size charged for an attached signature (two ~160-bit hex ints plus
+#: framing) — kept identical to the seed accounting.
+SIGNATURE_OVERHEAD_BYTES = 160
 
 
 @dataclass
@@ -36,16 +51,25 @@ class Transaction:
     submitted_at: float = 0.0
     signature: Optional[Signature] = None
 
-    def signing_payload(self) -> bytes:
-        """The bytes covered by the signature (everything but the signature)."""
-        return canonical_bytes({
+    def _signed_content(self) -> dict:
+        return {
             "sender": self.sender,
             "contract": self.contract,
             "method": self.method,
             "args": self.args,
             "seq": self.seq,
             "tx_id": self.tx_id,
-        })
+        }
+
+    def signing_payload(self) -> bytes:
+        """The bytes covered by the signature (everything but the signature)."""
+        if not FLAGS.encoding_cache:
+            return canonical_bytes(self._signed_content())
+        payload = getattr(self, "_payload_cache", None)
+        if payload is None:
+            payload = canonical_bytes(self._signed_content())
+            self._payload_cache = payload
+        return payload
 
     def sign(self, key: SigningKey) -> "Transaction":
         """Sign in place and return self (builder style)."""
@@ -58,19 +82,48 @@ class Transaction:
         return key.verify(self.signing_payload(), self.signature)
 
     def content_hash(self) -> str:
-        """Hash of the signed content; used as the Merkle leaf for the block body."""
-        return hash_value({
+        """Hash of the signed content; used as the Merkle leaf for the block body.
+
+        Equals ``hash_value(signed content)``: the hash is taken over the
+        same canonical bytes as the signing payload, so the cached encoding
+        serves both.
+        """
+        if not FLAGS.encoding_cache:
+            return sha256_hex(canonical_bytes(self._signed_content()))
+        digest = getattr(self, "_content_hash_cache", None)
+        if digest is None:
+            digest = sha256_hex(self.signing_payload())
+            self._content_hash_cache = digest
+        return digest
+
+    def size_bytes(self) -> int:
+        overhead = SIGNATURE_OVERHEAD_BYTES if self.signature is not None else 0
+        return len(self.signing_payload()) + overhead
+
+    def replace(self, **changes: Any) -> "Transaction":
+        """Copy-on-write: a new transaction with ``changes`` applied.
+
+        The only supported way to alter signed-over fields once a
+        transaction has been hashed or signed (direct field mutation would
+        desynchronise the frozen canonical encoding).  The signature is
+        carried over unless overridden — deliberately, so the threat
+        experiments can model content tampered *after* signing.
+        """
+        fields: dict[str, Any] = {
             "sender": self.sender,
             "contract": self.contract,
             "method": self.method,
-            "args": self.args,
+            "args": dict(self.args),
             "seq": self.seq,
             "tx_id": self.tx_id,
-        })
-
-    def size_bytes(self) -> int:
-        overhead = 160 if self.signature is not None else 0
-        return len(self.signing_payload()) + overhead
+            "submitted_at": self.submitted_at,
+            "signature": self.signature,
+        }
+        unknown = set(changes) - set(fields)
+        if unknown:
+            raise ValidationError(f"unknown transaction fields: {sorted(unknown)}")
+        fields.update(changes)
+        return Transaction(**fields)
 
     def to_dict(self) -> dict:
         return {

@@ -1,0 +1,85 @@
+"""Monitoring-plane fast-path switches.
+
+The monitoring pipeline (log transactions → PoW chain → contract →
+Analyser re-check) carries several decision-preserving optimisation
+layers.  Each layer is individually toggleable so the E10 benchmark can
+measure its contribution and the differential tests can pin every toggle
+combination to bit-identical chain hashes, alerts and decisions:
+
+- ``encoding_cache`` — :class:`~repro.blockchain.transaction.Transaction`,
+  :class:`~repro.blockchain.block.BlockHeader` and
+  :class:`~repro.drams.logs.LogEntry` freeze their canonical encodings on
+  first use and reuse them for signing payloads, content hashes, sizes,
+  Merkle leaves and gossip; mempools reuse admission-time sizes.
+- ``verify_cache`` — a :class:`~repro.blockchain.chain.Blockchain` checks
+  each transaction signature and each block's Merkle root exactly once
+  per node, and PoW grinding hashes a precomputed header prefix plus the
+  nonce instead of re-rendering the whole header per attempt.
+- ``contract_inplace`` — the contract engine executes invocations of
+  contracts that declare ``checked_invoke`` directly on live state
+  instead of deep-copying the full replicated state per transaction.
+- ``compiled_oracle`` — the Analyser's
+  :class:`~repro.analysis.semantics.DecisionOracle` compiles each policy
+  version once through the target index instead of interpreting the
+  document tree per checked decision.
+
+All layers default to on; ``configured()`` flips them temporarily (the
+benchmarks' toggle harness).  The flags object is intentionally a single
+module-level instance so the hot paths pay one attribute load, not a
+lookup through configuration plumbing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class FastPathFlags:
+    """Which monitoring-plane fast-path layers are active."""
+
+    encoding_cache: bool = True
+    verify_cache: bool = True
+    contract_inplace: bool = True
+    compiled_oracle: bool = True
+
+    def as_dict(self) -> dict[str, bool]:
+        return {
+            "encoding_cache": self.encoding_cache,
+            "verify_cache": self.verify_cache,
+            "contract_inplace": self.contract_inplace,
+            "compiled_oracle": self.compiled_oracle,
+        }
+
+
+#: The process-wide flag instance every fast-path call site reads.
+FLAGS = FastPathFlags()
+
+_FIELDS = tuple(FLAGS.as_dict())
+
+
+def set_flags(**overrides: bool) -> None:
+    """Set fast-path layers in place (unknown names are rejected)."""
+    for name, value in overrides.items():
+        if name not in _FIELDS:
+            raise ValueError(f"unknown fast-path flag: {name!r}")
+        setattr(FLAGS, name, bool(value))
+
+
+@contextmanager
+def configured(**overrides: bool) -> Iterator[FastPathFlags]:
+    """Temporarily override fast-path layers (benchmarks, differential tests).
+
+    ``configured(encoding_cache=False)`` disables one layer; pass
+    ``all_off=True`` convenience by listing every flag explicitly instead —
+    the point of this context manager is that the override set is visible
+    at the call site.
+    """
+    previous = FLAGS.as_dict()
+    set_flags(**overrides)
+    try:
+        yield FLAGS
+    finally:
+        set_flags(**previous)

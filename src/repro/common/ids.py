@@ -30,6 +30,19 @@ def new_id(prefix: str = "id") -> str:
     return f"{prefix}-{value}"
 
 
+def reset_id_counter(start: int = 1) -> None:
+    """Rewind the minting counter (benchmark/test support only).
+
+    Minted ids (transaction ids in particular) are hashed into the chain,
+    so two runs can only produce bit-identical chains if they mint from
+    the same counter position.  The differential benchmarks reset between
+    arms; production code must never call this.
+    """
+    global _COUNTER
+    with _COUNTER_LOCK:
+        _COUNTER = itertools.count(start)
+
+
 def short_hash(value: Any, length: int = 12) -> str:
     """Deterministic short hex digest of any canonically-serializable value."""
     digest = hashlib.sha256(canonical_bytes(value)).hexdigest()

@@ -31,7 +31,23 @@ _JSON_PRIMITIVES = (str, int, bool, type(None))
 
 def _normalise(value: Any) -> Any:
     """Reduce ``value`` to plain JSON-compatible data, or raise."""
-    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+    # Exact-type fast path for the overwhelmingly common cases (the
+    # monitoring pipeline encodes mostly flat dicts of str/int/float);
+    # subclasses (enums, dataclasses, bools-as-ints) take the full chain
+    # below, whose semantics this short-circuit preserves bit for bit.
+    kind = type(value)
+    if kind is str or kind is int or kind is bool or value is None:
+        return value
+    if kind is dict:
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(f"dict key must be str, got {type(key).__name__}")
+            out[key] = _normalise(item)
+        return out
+    if kind is list:
+        return [_normalise(item) for item in value]
+    if isinstance(value, bool) or isinstance(value, (str, int)):
         return value
     if isinstance(value, float):
         if math.isnan(value) or math.isinf(value):

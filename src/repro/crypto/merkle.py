@@ -96,5 +96,17 @@ class MerkleTree:
 
     @classmethod
     def root_of(cls, items: list[str]) -> str:
-        """Convenience: the Merkle root of ``items`` without keeping the tree."""
-        return cls(items).root
+        """The Merkle root of ``items`` without keeping the tree.
+
+        Block validation recomputes body roots on every node, so this
+        avoids the per-level list bookkeeping :class:`MerkleTree` keeps for
+        proofs; the folding (odd levels duplicate the tail) is identical.
+        """
+        if not items:
+            return _EMPTY_ROOT
+        level = [leaf_hash(item) for item in items]
+        while len(level) > 1:
+            if len(level) % 2 == 1:
+                level.append(level[-1])
+            level = [hash_pair(level[i], level[i + 1]) for i in range(0, len(level), 2)]
+        return level[0]

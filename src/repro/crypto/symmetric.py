@@ -83,11 +83,25 @@ class SymmetricKey:
                 self._enc_key + nonce + counter.to_bytes(8, "big")).digest())
         return b"".join(blocks)[:length]
 
+    def derive_nonce(self, plaintext: bytes, context: bytes = b"") -> bytes:
+        """SIV-style synthetic nonce: a PRF of the plaintext (and context).
+
+        Deterministic encryption makes simulation runs exactly reproducible
+        from their seed, which random nonces silently broke.  The only
+        leakage is plaintext *equality* under the same key and context —
+        information DRAMS already publishes on-chain through the payload
+        hash commitments the monitor contract matches on.
+        """
+        material = hmac.new(self._mac_key, b"nonce|" + context + b"|" + plaintext,
+                            hashlib.sha256).digest()
+        return material[:NONCE_SIZE]
+
     def encrypt(self, plaintext: bytes, nonce: bytes | None = None) -> EncryptedBlob:
         """Encrypt and authenticate ``plaintext``.
 
-        A caller-supplied nonce must never repeat for the same key; when
-        omitted a random nonce is drawn.
+        A caller-supplied nonce must never repeat for the same key (or be
+        synthesised via :meth:`derive_nonce`); when omitted a random nonce
+        is drawn.
         """
         if nonce is None:
             nonce = os.urandom(NONCE_SIZE)

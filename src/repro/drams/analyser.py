@@ -22,6 +22,10 @@ Dataflow per decision:
 
 The oracle tracks PRP publications: decisions are checked against the
 policy version that was in force when they were made (by decision time).
+Oracles are created once per policy version and cached; with the
+``compiled_oracle`` fast-path layer on, that single creation compiles the
+document through the target index, so the per-decision cost is an indexed
+evaluation rather than a document-tree interpretation.
 """
 
 from __future__ import annotations

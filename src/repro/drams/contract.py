@@ -44,6 +44,9 @@ class MonitorContract(Contract):
     """Replicated log store plus matching algorithms."""
 
     name = CONTRACT_NAME
+    # Every method validates its arguments and raises before touching
+    # state, so the engine may run invocations in place (fast path).
+    checked_invoke = True
 
     def __init__(self, timeout_blocks: int = 6, retention_blocks: int = 50,
                  store_ciphertexts: bool = True,

@@ -26,7 +26,7 @@ from repro.blockchain.contracts import ContractEvent
 from repro.blockchain.node import BlockchainNode
 from repro.blockchain.transaction import Transaction
 from repro.common.errors import CryptoError
-from repro.common.serialization import canonical_bytes, from_json
+from repro.common.serialization import from_json
 from repro.crypto.keystore import KeyStore
 from repro.crypto.signatures import SigningKey
 from repro.crypto.symmetric import EncryptedBlob, SymmetricKey
@@ -99,7 +99,11 @@ class LoggingInterface(Host):
             # TPM refused to unseal: the platform measurement changed.
             self.key_failures += 1
             return None
-        ciphertext = key.encrypt(canonical_bytes(entry.payload))
+        # One canonical encoding serves encryption and the hash commitment;
+        # the synthetic nonce keeps runs reproducible under a fixed seed.
+        payload_bytes = entry.canonical_payload()
+        ciphertext = key.encrypt(payload_bytes,
+                                 nonce=key.derive_nonce(payload_bytes))
         self._seq += 1
         tx = Transaction(
             sender=self.address,

@@ -6,10 +6,10 @@ sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — four concrete federation scenarios
+- :mod:`repro.workload.scenarios` — five concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
-  cross-cloud delegation), each with its policy set, population and
-  expected decision mix.
+  cross-cloud delegation; audit-burst compliance logging), each with its
+  policy set, population and expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -17,6 +17,7 @@ from repro.workload.scenarios import (
     SCENARIO_FACTORIES,
     Scenario,
     all_scenarios,
+    audit_burst_scenario,
     delegation_scenario,
     healthcare_scenario,
     iot_edge_scenario,
@@ -30,6 +31,7 @@ __all__ = [
     "SCENARIO_FACTORIES",
     "Scenario",
     "all_scenarios",
+    "audit_burst_scenario",
     "delegation_scenario",
     "healthcare_scenario",
     "iot_edge_scenario",

@@ -21,6 +21,13 @@ Two further scenarios stress the PDP fast path from opposite ends:
   nesting: cloud → domain → policy, clearance-attenuated delegate access,
   so skipping must prove NoMatch through several target layers.
 
+A fifth scenario stresses the *monitoring plane* instead of the PDP:
+
+- :func:`audit_burst_scenario` — a tenant's service accounts flood the
+  chain with audit-entry appends at a high arrival rate while normal
+  operational traffic continues, driving block templates into the
+  mempool/block-assembly limits (``max_block_txs``/``max_block_bytes``).
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -487,6 +494,90 @@ def delegation_scenario() -> Scenario:
     )
 
 
+def audit_burst_scenario() -> Scenario:
+    """Compliance-logging burst: one tenant floods the chain with audit
+    appends while normal operational traffic continues.
+
+    Unlike the other scenarios this one is shaped to stress the
+    *monitoring plane* rather than the PDP: service accounts dominate the
+    population and write at a high arrival rate, so every access attempt
+    turns into four log transactions racing into the mempool.  Run it
+    with tight ``max_block_txs``/``max_block_bytes`` chain settings (as
+    E10 and the block-assembly tests do) and block templates hit the
+    count and byte caps the calmer workloads never reach, leaving a
+    standing mempool backlog that drains over several blocks.
+    """
+    service = Target.single("string-equal", "service", "subject", "role")
+    auditor = Target.single("string-equal", "auditor", "subject", "role")
+    operator = Target.single("string-equal", "operator", "subject", "role")
+
+    audit_log_policy = Policy(
+        policy_id="audit-log",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "audit-entry", "resource", "type"),
+        rules=[
+            Rule("service-append", Effect.PERMIT,
+                 target=service, condition=_action_is("write")),
+            Rule("auditor-read", Effect.PERMIT,
+                 target=auditor, condition=_action_is("read")),
+            Rule("audit-default-deny", Effect.DENY),
+        ],
+        obligations=[Obligation("retain-seven-years", "Permit",
+                                {"basis": "compliance mandate"})],
+        description="Service accounts append audit entries; auditors read.",
+    )
+    service_records_policy = Policy(
+        policy_id="service-records",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "service-record", "resource", "type"),
+        rules=[
+            Rule("operator-read", Effect.PERMIT,
+                 target=operator, condition=_action_is("read")),
+            Rule("operator-home-write", Effect.PERMIT,
+                 target=operator,
+                 condition=Apply("and", (_action_is("write"), _home_tenant()))),
+            Rule("records-default-deny", Effect.DENY),
+        ],
+        description="Operators run the services; writes stay at home.",
+    )
+
+    root = PolicySet(
+        policy_set_id="audit-burst-federation",
+        policy_combining="deny-unless-permit",
+        children=[audit_log_policy, service_records_policy],
+        description="Audit appends plus operational traffic; default deny.",
+    )
+
+    roles = ("service", "auditor", "operator")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", ["audit-entry", "service-record"])
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=120,
+        resources=480,
+        roles=roles,
+        # The flooding tenant's service accounts dominate the population.
+        role_weights=(0.7, 0.1, 0.2),
+        resource_types=("audit-entry", "service-record"),
+        actions=("read", "write"),
+        action_weights=(0.25, 0.75),
+        zipf_skew=1.3,
+        arrival_rate=25.0,
+    )
+    return Scenario(
+        name="audit-burst",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="A tenant's services flood the chain with audit "
+                    "appends while operators keep working.",
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -497,4 +588,5 @@ SCENARIO_FACTORIES = (
     ministry_scenario,
     iot_edge_scenario,
     delegation_scenario,
+    audit_burst_scenario,
 )

@@ -37,8 +37,10 @@ class TestTransaction:
     def test_tampered_args_fail_verification(self):
         key = SigningKey.generate(b"alice")
         tx = make_tx(key=key)
-        tx.args["value"] = 999
-        assert not tx.verify(key.public)
+        tampered = tx.replace(args={**tx.args, "value": 999})
+        assert not tampered.verify(key.public)
+        # The original is untouched and still verifies.
+        assert tx.verify(key.public)
 
     def test_content_hash_excludes_submission_time(self):
         tx = make_tx()
@@ -206,6 +208,9 @@ class TestContractEngine:
 
         class Flaky(KeyValueContract):
             name = "flaky"
+            # Mutates before raising, so it must opt out of the engine's
+            # in-place fast path to keep the revert guarantee.
+            checked_invoke = False
 
             def invoke(self, state, method, args, ctx, emit):
                 if method == "boom":

@@ -116,7 +116,8 @@ class TestValidation:
     def test_bad_tx_signature_rejected(self):
         chain = make_chain()
         tx = put_tx(1)
-        tx.args["value"] = 999  # invalidate signature
+        # Tamper after signing (copy-on-write keeps the stale signature).
+        tx = tx.replace(args={**tx.args, "value": 999})
         block = chain.create_block(MINER, [tx], 1.0, signing_key=MINER_KEY)
         with pytest.raises(ChainValidationError):
             chain.add_block(block)

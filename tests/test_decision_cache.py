@@ -80,13 +80,16 @@ class TestDecisionCacheUnit:
     def test_returned_entries_are_copies(self):
         cache = DecisionCache()
         cache.put("k", "fp", {"decision": "Permit", "status_code": "ok",
-                              "obligations": [{"obligation_id": "o"}]})
+                              "obligations": [{"obligation_id": "o",
+                                               "attributes": {"reason": "x"}}]})
         first = cache.get("k")
         first["decision"] = "Deny"
         first["obligations"][0]["obligation_id"] = "tampered"
+        first["obligations"][0]["attributes"]["reason"] = "tampered"
         second = cache.get("k")
         assert second["decision"] == "Permit"
         assert second["obligations"][0]["obligation_id"] == "o"
+        assert second["obligations"][0]["attributes"]["reason"] == "x"
 
     def test_invalidate_by_fingerprint(self):
         cache = DecisionCache()

@@ -1,0 +1,399 @@
+"""Differential tests for the monitoring-plane fast path.
+
+Every fast-path layer (cached canonical encodings, once-per-node
+verification caches, in-place contract execution, fixed-base
+exponentiation, compiled oracle) must be *decision-preserving*: with any
+combination of :mod:`repro.common.fastpath` flags, hashes, signatures,
+sizes, receipts and decisions are bit-identical to recompute-from-scratch.
+Hypothesis drives random content through both paths, including
+mutation-after-cache (copy-on-write) and reorg replay.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blockchain.block import Block, BlockHeader
+from repro.blockchain.chain import Blockchain
+from repro.blockchain.config import BlockchainConfig
+from repro.blockchain.contracts import (
+    ContractContext,
+    ContractEngine,
+    ContractRegistry,
+    KeyValueContract,
+)
+from repro.blockchain.mempool import Mempool
+from repro.blockchain.pow import grind_nonce, grind_nonce_parts
+from repro.blockchain.transaction import Transaction
+from repro.common.fastpath import FLAGS, configured
+from repro.common.serialization import canonical_bytes
+from repro.crypto.hashing import hash_value
+from repro.crypto.merkle import MerkleTree
+from repro.crypto.signatures import Signature, SigningKey
+from repro.drams.logs import EntryType, LogEntry
+
+ALL_OFF = dict(encoding_cache=False, verify_cache=False,
+               contract_inplace=False, compiled_oracle=False)
+
+KEY = SigningKey.generate(b"fastpath-tests")
+
+# JSON-safe argument values (what contract calls actually carry).
+json_values = st.recursive(
+    st.one_of(st.none(), st.booleans(), st.integers(-2**40, 2**40),
+              st.floats(allow_nan=False, allow_infinity=False, width=32),
+              st.text(max_size=12)),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=6), children, max_size=3)),
+    max_leaves=8)
+
+args_dicts = st.dictionaries(st.text(min_size=1, max_size=8), json_values,
+                             max_size=4)
+
+
+@st.composite
+def transactions(draw, signed=st.booleans()):
+    tx = Transaction(
+        sender=draw(st.sampled_from(["li-1", "li-2", "analyser"])),
+        contract="drams-monitor",
+        method=draw(st.sampled_from(["record_log", "tick"])),
+        args=draw(args_dicts),
+        seq=draw(st.integers(1, 10_000)),
+    )
+    if draw(signed):
+        tx.sign(KEY)
+    return tx
+
+
+@st.composite
+def headers(draw):
+    return BlockHeader(
+        height=draw(st.integers(0, 10_000)),
+        prev_hash=draw(st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)),
+        merkle_root=draw(st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)),
+        timestamp=draw(st.floats(min_value=0, max_value=1e9, allow_nan=False)),
+        difficulty_bits=draw(st.floats(min_value=1.0, max_value=64.0, allow_nan=False)),
+        miner=draw(st.text(min_size=1, max_size=20)),
+        nonce=draw(st.integers(0, 2**32)),
+    )
+
+
+class TestTransactionEncodingCache:
+    @given(transactions())
+    @settings(max_examples=120, deadline=None)
+    def test_cached_equals_recompute(self, tx):
+        cached = (tx.signing_payload(), tx.content_hash(), tx.size_bytes())
+        with configured(**ALL_OFF):
+            fresh = (tx.signing_payload(), tx.content_hash(), tx.size_bytes())
+        assert cached == fresh
+
+    @given(transactions())
+    @settings(max_examples=60, deadline=None)
+    def test_content_hash_matches_definitional_form(self, tx):
+        assert tx.content_hash() == hash_value({
+            "sender": tx.sender, "contract": tx.contract, "method": tx.method,
+            "args": tx.args, "seq": tx.seq, "tx_id": tx.tx_id,
+        })
+
+    @given(transactions(signed=st.just(True)), args_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_mutation_after_cache_via_replace(self, tx, new_args):
+        before_payload = tx.signing_payload()
+        before_hash = tx.content_hash()
+        mutated = tx.replace(args=new_args)
+        # The original's caches are untouched and its signature still holds.
+        assert tx.signing_payload() == before_payload
+        assert tx.content_hash() == before_hash
+        assert tx.verify(KEY.public)
+        # The copy re-encodes from scratch; differential vs caches-off.
+        with configured(**ALL_OFF):
+            expected_payload = Transaction(
+                sender=tx.sender, contract=tx.contract, method=tx.method,
+                args=new_args, seq=tx.seq, tx_id=tx.tx_id).signing_payload()
+        assert mutated.signing_payload() == expected_payload
+        if new_args != tx.args:
+            assert mutated.content_hash() != before_hash
+            assert not mutated.verify(KEY.public)
+
+    def test_replace_rejects_unknown_fields(self):
+        tx = Transaction(sender="a", contract="c", method="m", args={}, seq=1)
+        with pytest.raises(Exception):
+            tx.replace(nonsense=1)
+
+
+class TestHeaderEncodingCache:
+    @given(headers(), st.integers(0, 2**40))
+    @settings(max_examples=120, deadline=None)
+    def test_nonce_parts_reproduce_bytes_for_nonce(self, header, nonce):
+        prefix, suffix = header.nonce_parts()
+        assert prefix + str(nonce).encode() + suffix == header.bytes_for_nonce(nonce)
+
+    @given(headers())
+    @settings(max_examples=120, deadline=None)
+    def test_cached_hash_equals_recompute(self, header):
+        cached = header.block_hash()
+        with configured(**ALL_OFF):
+            assert cached == header.block_hash()
+
+    @given(headers(), st.integers(0, 2**32))
+    @settings(max_examples=60, deadline=None)
+    def test_in_place_header_mutation_invalidates_memo(self, header, nonce):
+        header.block_hash()  # prime the memo
+        header.nonce = nonce
+        after_nonce = header.block_hash()
+        header.merkle_root = header.merkle_root + "ff"
+        after_root = header.block_hash()
+        with configured(**ALL_OFF):
+            # The memoised hashes track every in-place edit exactly.
+            assert after_root == header.block_hash()
+            header.merkle_root = header.merkle_root[:-2]
+            assert after_nonce == header.block_hash()
+        assert after_nonce != after_root
+
+
+class TestPowGrinding:
+    @given(headers())
+    @settings(max_examples=30, deadline=None)
+    def test_parts_grinding_matches_generic_grinding(self, header):
+        generic = grind_nonce(header.bytes_for_nonce, difficulty_bits=6.0,
+                              max_attempts=5_000)
+        prefix, suffix = header.nonce_parts()
+        parts = grind_nonce_parts(prefix, suffix, difficulty_bits=6.0,
+                                  max_attempts=5_000)
+        assert generic == parts
+
+
+class TestMerkleAndLogs:
+    @given(st.lists(st.text(max_size=20), max_size=12))
+    @settings(max_examples=120, deadline=None)
+    def test_root_of_matches_tree_root(self, items):
+        assert MerkleTree.root_of(items) == MerkleTree(items).root
+
+    @given(args_dicts)
+    @settings(max_examples=60, deadline=None)
+    def test_log_entry_cached_payload_and_hash(self, payload):
+        entry = LogEntry(correlation_id="c", entry_type=EntryType.PEP_IN,
+                         tenant="t", component="x", payload=payload,
+                         observed_at=0.0)
+        assert entry.canonical_payload() == canonical_bytes(payload)
+        assert entry.payload_hash() == hash_value(payload)
+        with configured(**ALL_OFF):
+            assert entry.payload_hash() == hash_value(payload)
+
+
+class TestSignatureFastPath:
+    @given(st.binary(min_size=1, max_size=64), st.binary(min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fixed_base_sign_verify_matches_pow(self, message, seed):
+        key = SigningKey.generate(seed)
+        fast_sig = key.sign(message)
+        assert key.public.verify(message, fast_sig)
+        with configured(**ALL_OFF):
+            slow_sig = key.sign(message)
+            assert slow_sig == fast_sig
+            assert key.public.verify(message, slow_sig)
+
+    @given(st.integers(2**200, 2**400), st.integers(1, 2**40))
+    @settings(max_examples=30, deadline=None)
+    def test_oversized_forged_exponents_fall_back(self, e, s):
+        # Forged signatures may carry exponents far beyond the table range;
+        # both paths must agree (normally: reject).
+        sig = Signature(e=e, s=s)
+        fast = KEY.public.verify(b"msg", sig)
+        with configured(**ALL_OFF):
+            assert KEY.public.verify(b"msg", sig) == fast
+
+
+class TestMempoolSizes:
+    @given(st.lists(transactions(signed=st.just(True)), max_size=10),
+           st.integers(1, 10), st.integers(50, 5_000))
+    @settings(max_examples=60, deadline=None)
+    def test_peek_with_cached_sizes_matches_recompute(self, txs, max_txs, max_bytes):
+        pool_fast, pool_slow = Mempool(), Mempool()
+        for tx in txs:
+            pool_fast.add(tx)
+            pool_slow.add(tx)
+        fast = [tx.tx_id for tx in pool_fast.peek(max_txs, max_bytes)]
+        with configured(**ALL_OFF):
+            slow = [tx.tx_id for tx in pool_slow.peek(max_txs, max_bytes)]
+        assert fast == slow
+
+
+class TestEngineInPlace:
+    ops = st.lists(st.tuples(
+        st.sampled_from(["put", "get", "delete", "explode"]),
+        st.text(min_size=1, max_size=4), json_values), max_size=12)
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_in_place_execution_matches_deepcopy(self, operations):
+        def run():
+            registry = ContractRegistry()
+            registry.deploy(KeyValueContract())
+            engine = ContractEngine(registry)
+            receipts = []
+            for index, (method, key, value) in enumerate(operations):
+                ctx = ContractContext(block_height=1, block_timestamp=1.0,
+                                      sender="s", tx_id=f"tx-{index}")
+                receipt = engine.execute("kvstore", method,
+                                         {"key": key, "value": value}, ctx)
+                receipts.append((receipt.ok, receipt.error, receipt.result,
+                                 [e.to_dict() for e in receipt.events]))
+            return receipts, engine.state_of("kvstore")
+
+        fast = run()
+        with configured(**ALL_OFF):
+            slow = run()
+        assert fast == slow
+
+
+class TestChainVerificationCaches:
+    MINER = "miner-1"
+    CLIENT = "client-1"
+    MINER_KEY = SigningKey.generate(b"fastpath-miner")
+    CLIENT_KEY = SigningKey.generate(b"fastpath-client")
+
+    def lookup(self, name):
+        return {self.MINER: self.MINER_KEY.public,
+                self.CLIENT: self.CLIENT_KEY.public}.get(name)
+
+    def make_chain(self):
+        registry = ContractRegistry()
+        registry.deploy(KeyValueContract())
+        config = BlockchainConfig(chain_id="fp", difficulty_bits=8.0,
+                                  target_block_interval=1.0, retarget_window=0,
+                                  pow_mode="simulated", confirmations=2)
+        return Blockchain(config, registry, key_lookup=self.lookup)
+
+    def put_tx(self, seq, key="k", value=1):
+        return Transaction(sender=self.CLIENT, contract="kvstore", method="put",
+                           args={"key": key, "value": value}, seq=seq,
+                           tx_id=f"fp-tx-{seq}-{key}").sign(self.CLIENT_KEY)
+
+    def fork(self, chain, parent, txs=(), timestamp=None):
+        header = BlockHeader(
+            height=parent.height + 1,
+            prev_hash=parent.hash,
+            merkle_root="",
+            timestamp=timestamp if timestamp is not None
+            else parent.header.timestamp + 1.0,
+            difficulty_bits=chain.expected_difficulty(parent.hash),
+            miner=self.MINER,
+        )
+        block = Block(header=header, transactions=list(txs))
+        header.merkle_root = block.compute_merkle_root()
+        block.sign(self.MINER_KEY)
+        return block
+
+    def run_reorg(self):
+        """Grow a branch, reorg to a competing one, replay state."""
+        chain = self.make_chain()
+        genesis = chain.head
+        a1 = self.fork(chain, genesis, txs=[self.put_tx(1, "a", 1)])
+        chain.add_block(a1)
+        b1 = self.fork(chain, genesis, txs=[self.put_tx(1, "b", 2)],
+                       timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1, txs=[self.put_tx(2, "c", 3)])
+        chain.add_block(b2)
+        return (chain.head.hash, chain.reorgs, chain.state_of("kvstore"),
+                sorted(chain._tx_locations),
+                [chain.confirmations(t) for t in sorted(chain._tx_locations)])
+
+    def test_reorg_replay_identical_with_and_without_caches(self):
+        fast = self.run_reorg()
+        with configured(**ALL_OFF):
+            slow = self.run_reorg()
+        assert fast == slow
+        assert fast[1] >= 1  # the reorg actually happened
+
+    def test_tampered_body_rejected_despite_merkle_cache(self):
+        chain = self.make_chain()
+        block = chain.create_block(self.MINER, [self.put_tx(1)], 1.0,
+                                   signing_key=self.MINER_KEY)
+        block.transactions = []  # body substitution after mining
+        with pytest.raises(Exception):
+            chain.add_block(block)
+
+    def test_tampered_tx_rejected_despite_signature_cache(self):
+        chain = self.make_chain()
+        tx = self.put_tx(1)
+        assert chain.validate_transaction(tx)  # primes the verified-set
+        tampered = tx.replace(args={"key": "k", "value": 999})
+        block = chain.create_block(self.MINER, [tampered], 1.0,
+                                   signing_key=self.MINER_KEY)
+        with pytest.raises(Exception):
+            chain.add_block(block)
+
+
+class TestAuditBurstBlockLimits:
+    """The audit-burst scenario drives block assembly into its caps."""
+
+    def test_burst_hits_block_caps_and_every_log_still_commits(self):
+        from repro.drams.system import DramsConfig
+        from repro.harness import MonitoredFederation
+        from repro.workload.scenarios import audit_burst_scenario
+
+        max_block_txs = 16
+        max_block_bytes = 24_000
+        config = DramsConfig(
+            chain=BlockchainConfig(
+                chain_id="burst-chain", difficulty_bits=10.0,
+                target_block_interval=0.5, retarget_window=0,
+                max_block_txs=max_block_txs, max_block_bytes=max_block_bytes,
+                pow_mode="simulated", confirmations=2),
+            timeout_blocks=10, tick_interval=1.0,
+            analyser_sweep_interval=1.0, node_hashrate=1024.0, use_tpm=False)
+        stack = MonitoredFederation.build(audit_burst_scenario(), clouds=2,
+                                          seed=42, with_drams=True,
+                                          drams_config=config)
+        stack.start()
+        stack.issue_requests(80)
+        stack.run(until=40.0)
+
+        chain = stack.drams.reference_chain()
+        blocks = chain.main_chain()
+        body_counts = [len(block.transactions) for block in blocks]
+        # The burst actually saturates templates (the calmer scenarios
+        # never reach the caps)…
+        assert max(body_counts) == max_block_txs
+        assert sum(1 for count in body_counts if count == max_block_txs) >= 3
+        assert all(block.body_size_bytes() <= max_block_bytes for block in blocks)
+        # …and backlogged mempools drain without losing a single log:
+        submitted = sum(li.logs_submitted for li in stack.drams.interfaces.values())
+        stats = stack.drams.monitor_state()["stats"]
+        assert stats["logs"] == submitted == 4 * len(stack.outcomes)
+        assert stats["verified"] == len(stack.outcomes) == 80
+        assert stack.drams.analyser.checked == 80
+
+
+class TestCompiledOracle:
+    def test_compiled_matches_interpreter_on_all_scenarios(self):
+        from repro.analysis.semantics import DecisionOracle
+        from repro.common.rng import SeededRng
+        from repro.workload.generator import RequestGenerator
+        from repro.workload.scenarios import all_scenarios
+
+        for scenario in all_scenarios():
+            compiled = DecisionOracle(scenario.policy_document, compiled=True)
+            interpreted = DecisionOracle(scenario.policy_document, compiled=False)
+            generator = RequestGenerator(scenario.workload,
+                                         SeededRng(11, "oracle-diff"))
+            for generated in generator.requests(80):
+                request = {
+                    "subject": {k: [v] for k, v in generated.subject.items()},
+                    "resource": {k: [v] for k, v in generated.resource.items()},
+                    "action": {k: [v] for k, v in generated.action.items()},
+                    "environment": {"origin-tenant": ["tenant-1"]},
+                }
+                assert (compiled.expected_decision(request)
+                        == interpreted.expected_decision(request)), (
+                    f"oracle divergence on {scenario.name}: {request}")
+
+    def test_flag_controls_default_mode(self):
+        from repro.analysis.semantics import DecisionOracle
+        from repro.workload.scenarios import healthcare_scenario
+
+        document = healthcare_scenario().policy_document
+        assert DecisionOracle(document).compiled is FLAGS.compiled_oracle
+        with configured(compiled_oracle=False):
+            assert DecisionOracle(document).compiled is False
