@@ -82,7 +82,7 @@ def run_baseline_arm(seed_base: int, compromised: bool) -> list[dict]:
             healthcare_scenario(), clouds=2, seed=seed_base + index,
             with_drams=False)
         monitor, probes = attach_centralized_monitoring(
-            stack.federation, stack.pdp_service, stack.peps, stack.prp,
+            stack.federation, stack.plane, stack.peps, stack.prp,
             timeout_seconds=4.0)
         monitor.start()
         if compromised:

@@ -19,6 +19,12 @@ from repro.accesscontrol.prp import PolicyRetrievalPoint
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.plane import (
+    DecisionPlane,
+    ShardedPdpPlane,
+    SinglePdpPlane,
+    as_plane,
+)
 
 __all__ = [
     "AccessRequest",
@@ -31,4 +37,8 @@ __all__ = [
     "PolicyAdministrationPoint",
     "PdpService",
     "PolicyEnforcementPoint",
+    "DecisionPlane",
+    "SinglePdpPlane",
+    "ShardedPdpPlane",
+    "as_plane",
 ]

@@ -1,9 +1,23 @@
-"""Wire messages between PEPs and the PDP.
+"""Wire messages between PEPs and the decision plane.
 
 The *semantic payloads* (request content, decision content) are hashed by
 DRAMS probes on both sides of each hop; envelope metadata (ids are minted
 once and echoed, timestamps vary per hop) is deliberately excluded from
 the hashed payload so honest latency never looks like tampering.
+
+``request_id`` doubles as the idempotency key across shard retries: a PEP
+failing over to another PDP replica re-sends the *same* envelope, every
+replica echoes the id back in its ``ac_response``, and the PEP enforces
+only the first response it receives.  Probes on different replicas that
+observe the same retried request hash identical request payloads, and —
+as long as both replicas evaluate under the same policy version — equal
+decision payloads too, so the monitor contract sees duplicate but
+consistent log entries and stays quiet.  A policy publish racing a
+failover *can* make two honest replicas answer one correlation
+differently; the contract then reports equivocation, which is the
+monitor working as specified — one request observably received two
+decisions — though it attributes policy churn to the infrastructure
+(version-tagged decision logs are the roadmap fix).
 """
 
 from __future__ import annotations

@@ -62,11 +62,20 @@ class PdpService(Host):
                  pdp_cache_size: int = 8,
                  use_target_index: bool = True,
                  decision_cache: Optional[DecisionCache] = None,
-                 use_decision_cache: bool = True) -> None:
+                 use_decision_cache: bool = True,
+                 serialize_evaluations: bool = False) -> None:
         super().__init__(network, address)
         self.prp = prp
         self.base_processing_delay = base_processing_delay
         self.per_rule_delay = per_rule_delay
+        #: Capacity model: when True the evaluator is single-threaded —
+        #: each evaluation occupies it for its processing delay and
+        #: concurrent requests queue behind the busy cursor.  Off by
+        #: default (the classic infinitely-parallel service), on in the
+        #: decision-plane scaling benchmark where the single-evaluator
+        #: ceiling is the thing being measured.
+        self.serialize_evaluations = serialize_evaluations
+        self._busy_until = 0.0
         self.requests_served = 0
         self.on_request_received: list[RequestHook] = []
         self.on_decision: list[DecisionHook] = []
@@ -109,6 +118,16 @@ class PdpService(Host):
     def _current_pdp(self) -> PolicyDecisionPoint:
         return self._compiled_current()[1].pdp
 
+    def current_footprint(self) -> tuple[PolicyVersion, frozenset]:
+        """Active policy version and its attribute footprint (LRU-kept).
+
+        Public so the decision plane can route on the same footprint
+        projection this service keys its cache with, without compiling
+        the policy a second time.
+        """
+        version, compiled = self._compiled_current()
+        return version, compiled.footprint
+
     def _rule_count(self) -> int:
         return self._compiled_current()[1].rule_count
 
@@ -132,6 +151,10 @@ class PdpService(Host):
         delay = self.base_processing_delay
         if not hit_expected:
             delay += self.per_rule_delay * self._rule_count()
+        if self.serialize_evaluations:
+            start = max(self.sim.now, self._busy_until)
+            self._busy_until = start + delay
+            delay = self._busy_until - self.sim.now
         self.sim.schedule(
             delay, lambda: self._evaluate_and_reply(request, message.src, keyed),
             label=f"pdp-eval:{request.request_id}")

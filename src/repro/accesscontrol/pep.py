@@ -1,9 +1,22 @@
 """The Policy Enforcement Point at a tenant's edge.
 
-Receives access attempts from subjects in its tenant, forwards them to the
-PDP and enforces the decision that comes back.  Deny-biased: anything other
-than an explicit Permit is enforced as a denial (the safe default for
-federated data sharing).
+Receives access attempts from subjects in its tenant, routes them through
+the federation's :class:`~repro.accesscontrol.plane.DecisionPlane` and
+enforces the decision that comes back.  Deny-biased: anything other than
+an explicit Permit is enforced as a denial (the safe default for federated
+data sharing).
+
+Routing and failover: the plane answers ``endpoints(request)`` — shard
+addresses in failover order.  The PEP sends to the first endpoint and arms
+a per-attempt timer (``request_timeout`` split evenly across the
+endpoints, so a single-evaluator plane keeps the classic whole-request
+timeout).  On a timer expiry with endpoints left it retries the *same*
+request envelope against the next shard (``failovers`` counts these);
+when the last endpoint times out the request is enforced as a timeout
+denial.  ``request_id`` is the idempotency key: a late or duplicate
+``ac_response`` for a request that has already been enforced (or already
+failed over and completed) finds no pending entry and is dropped, so a
+slow shard can never double-enforce.
 
 Probe hooks (DRAMS attaches here):
 
@@ -18,18 +31,24 @@ Attack injection points used by :mod:`repro.threats`:
   forwarding (request-tampering attack),
 - ``enforcement_interceptor`` rewrites the decision between receipt and
   enforcement (decision-tampering attack),
-- ``bypass`` fabricates a local decision without consulting the PDP
+- ``bypass`` fabricates a local decision without consulting the plane
   (circumvention attack).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.common.errors import ValidationError
 from repro.simnet.network import Host, Message, Network
+from repro.simnet.simulator import Event
 from repro.accesscontrol.context_handler import ContextHandler
 from repro.accesscontrol.messages import AccessDecision, AccessRequest
+from repro.accesscontrol.plane import as_plane
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.accesscontrol.plane import DecisionPlane
 
 RequestHook = Callable[[AccessRequest], None]
 EnforceHook = Callable[[AccessRequest, AccessDecision], None]
@@ -53,57 +72,135 @@ class EnforcedAccess:
         return self.enforced_at - self.requested_at
 
 
+@dataclass
+class _PendingAttempt:
+    """One in-flight request: which shard attempt is live and how to finish."""
+
+    request: AccessRequest
+    forwarded: AccessRequest
+    endpoints: tuple[str, ...]
+    attempt: int
+    callback: Optional[CompletionCallback]
+    requested_at: float
+    timeout_event: Event
+
+
 class PolicyEnforcementPoint(Host):
     """Edge enforcement for one tenant."""
 
-    def __init__(self, network: Network, address: str, tenant_name: str,
-                 pdp_address: str, request_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        network: Network,
+        address: str,
+        tenant_name: str,
+        plane: "DecisionPlane",
+        request_timeout: float = 30.0,
+    ) -> None:
+        if isinstance(plane, str):
+            # Guard before Host.__init__ attaches us: a half-constructed
+            # PEP must not occupy the address in the network registry.
+            raise TypeError(
+                "PolicyEnforcementPoint now takes a DecisionPlane handle, not a raw "
+                "PDP address; wrap the address with SinglePdpPlane.at(address) "
+                "(see README: 'Choosing a decision plane')."
+            )
+        # Same calling convention as DramsSystem / the baselines: a bare
+        # PdpService is adopted into a single-evaluator plane, anything
+        # else non-plane fails fast here rather than at the first submit.
+        plane = as_plane(plane)
         super().__init__(network, address)
         self.tenant_name = tenant_name
-        self.pdp_address = pdp_address
+        self.plane = plane
         self.request_timeout = request_timeout
         self.context_handler = ContextHandler(tenant_name)
         self.enforced: list[EnforcedAccess] = []
         self.timeouts = 0
+        self.failovers = 0
         self.on_request_intercepted: list[RequestHook] = []
         self.on_enforce: list[EnforceHook] = []
         self.forward_interceptor: Optional[ForwardInterceptor] = None
         self.enforcement_interceptor: Optional[EnforcementInterceptor] = None
         self.bypass: Optional[Callable[[AccessRequest], AccessDecision]] = None
-        self._pending: dict[str, tuple[AccessRequest, Optional[CompletionCallback], float, Any]] = {}
+        self._pending: dict[str, _PendingAttempt] = {}
 
     # -- client API -----------------------------------------------------------
 
-    def request_access(self, subject: dict, resource: dict, action: dict,
-                       callback: Optional[CompletionCallback] = None,
-                       environment: dict | None = None) -> AccessRequest:
+    def request_access(
+        self,
+        subject: dict,
+        resource: dict,
+        action: dict,
+        callback: Optional[CompletionCallback] = None,
+        environment: dict | None = None,
+    ) -> AccessRequest:
         """Entry point for subjects in this tenant."""
         content = self.context_handler.build(
-            subject=subject, resource=resource, action=action,
-            now=self.sim.now, environment=environment)
-        request = AccessRequest(content=content, origin_tenant=self.tenant_name,
-                                issued_at=self.sim.now)
+            subject=subject,
+            resource=resource,
+            action=action,
+            now=self.sim.now,
+            environment=environment,
+        )
+        request = AccessRequest(
+            content=content, origin_tenant=self.tenant_name, issued_at=self.sim.now
+        )
         return self.submit(request, callback)
 
-    def submit(self, request: AccessRequest,
-               callback: Optional[CompletionCallback] = None) -> AccessRequest:
+    def submit(
+        self, request: AccessRequest, callback: Optional[CompletionCallback] = None
+    ) -> AccessRequest:
         """Process an already-built access request."""
         for hook in self.on_request_intercepted:
             hook(request)
         if self.bypass is not None:
-            # Circumvention: fabricate a decision locally, never call the PDP.
+            # Circumvention: fabricate a decision locally, never call the plane.
             decision = self.bypass(request)
             self._enforce(request, decision, callback, request.issued_at)
             return request
         forwarded = request
         if self.forward_interceptor is not None:
             forwarded = self.forward_interceptor(request)
-        timeout_event = self.sim.schedule(
-            self.request_timeout, lambda: self._timeout(request.request_id),
-            label=f"pep-timeout:{request.request_id}")
-        self._pending[request.request_id] = (request, callback, self.sim.now, timeout_event)
-        self.send(self.pdp_address, "ac_request", forwarded.to_dict())
+        # Route on the envelope the shard will actually receive (and key
+        # its decision cache on) — under a tampering interceptor that is
+        # the forged request, not the original.
+        endpoints = tuple(self.plane.endpoints(forwarded))
+        if not endpoints:
+            raise ValidationError("decision plane routed no endpoints")
+        # A re-submission under an already-pending id supersedes the
+        # earlier attempt: disarm its timer, or it would fire against the
+        # new attempt's pending entry and force a premature failover.
+        previous = self._pending.pop(request.request_id, None)
+        if previous is not None:
+            previous.timeout_event.cancel()
+        self._dispatch(request, forwarded, endpoints, 0, callback, self.sim.now)
         return request
+
+    def _dispatch(
+        self,
+        request: AccessRequest,
+        forwarded: AccessRequest,
+        endpoints: tuple[str, ...],
+        attempt: int,
+        callback: Optional[CompletionCallback],
+        requested_at: float,
+    ) -> None:
+        """Arm the attempt timer and send one shard attempt."""
+        per_attempt = self.request_timeout / len(endpoints)
+        timeout_event = self.sim.schedule(
+            per_attempt,
+            lambda: self._timeout(request.request_id),
+            label=f"pep-timeout:{request.request_id}",
+        )
+        self._pending[request.request_id] = _PendingAttempt(
+            request=request,
+            forwarded=forwarded,
+            endpoints=endpoints,
+            attempt=attempt,
+            callback=callback,
+            requested_at=requested_at,
+            timeout_event=timeout_event,
+        )
+        self.send(endpoints[attempt], "ac_request", forwarded.to_dict())
 
     # -- message handling ----------------------------------------------------------
 
@@ -114,14 +211,18 @@ class PolicyEnforcementPoint(Host):
         pending = self._pending.pop(decision.request_id, None)
         if pending is None:
             return  # duplicate or timed-out response
-        request, callback, requested_at, timeout_event = pending
-        timeout_event.cancel()
+        pending.timeout_event.cancel()
         if self.enforcement_interceptor is not None:
-            decision = self.enforcement_interceptor(request, decision)
-        self._enforce(request, decision, callback, requested_at)
+            decision = self.enforcement_interceptor(pending.request, decision)
+        self._enforce(pending.request, decision, pending.callback, pending.requested_at)
 
-    def _enforce(self, request: AccessRequest, decision: AccessDecision,
-                 callback: Optional[CompletionCallback], requested_at: float) -> None:
+    def _enforce(
+        self,
+        request: AccessRequest,
+        decision: AccessDecision,
+        callback: Optional[CompletionCallback],
+        requested_at: float,
+    ) -> None:
         for hook in self.on_enforce:
             hook(request, decision)
         outcome = EnforcedAccess(
@@ -139,8 +240,26 @@ class PolicyEnforcementPoint(Host):
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return
-        request, callback, requested_at, _ = pending
+        next_attempt = pending.attempt + 1
+        if next_attempt < len(pending.endpoints):
+            # Fail over: same envelope, next shard in ring order.  The
+            # request id carries over, so whichever shard answers first
+            # wins and stragglers are dropped as duplicates.
+            self.failovers += 1
+            self._dispatch(
+                pending.request,
+                pending.forwarded,
+                pending.endpoints,
+                next_attempt,
+                pending.callback,
+                pending.requested_at,
+            )
+            return
         self.timeouts += 1
-        decision = AccessDecision(request_id=request_id, decision="Deny",
-                                  status_code="timeout", decided_at=self.sim.now)
-        self._enforce(request, decision, callback, requested_at)
+        decision = AccessDecision(
+            request_id=request_id,
+            decision="Deny",
+            status_code="timeout",
+            decided_at=self.sim.now,
+        )
+        self._enforce(pending.request, decision, pending.callback, pending.requested_at)

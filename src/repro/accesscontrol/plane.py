@@ -1,0 +1,351 @@
+"""The decision plane: how PEPs reach the federation's policy evaluators.
+
+The paper deploys the PDP as a single logical evaluator in the
+infrastructure tenant.  That is an architectural choice, not a law of the
+system — and after the PDP and monitoring fast paths, it is the remaining
+throughput ceiling.  This module turns the choice into an explicit API:
+PEPs are constructed with a :class:`DecisionPlane` handle instead of a raw
+PDP address, and the plane decides how many :class:`PdpService` replicas
+exist, where each request is routed, and in what order the PEP fails over
+when a shard does not answer.
+
+Two backends ship:
+
+- :class:`SinglePdpPlane` — one replica at the conventional
+  ``pdp@infrastructure`` address.  Deploying the default stack through it
+  is bit-identical to the previous hard-wired topology (same addresses,
+  same construction order, same event sequence).
+- :class:`ShardedPdpPlane` — N replicas in the infrastructure tenant
+  behind consistent hashing on the *decision-cache key* (policy
+  fingerprint + footprint-projected request attributes, see
+  :mod:`repro.accesscontrol.decision_cache`).  Keying the ring on the
+  cache key gives cache affinity for free: every request that could share
+  a cached decision lands on the same shard, so a ``partitioned`` cache
+  policy loses no hits to routing.  A ``shared`` policy hands one
+  :class:`DecisionCache` to every replica instead.  Either way the caches
+  flush coherently on every PRP publish (``DecisionCache.bind`` is
+  idempotent per PRP).
+
+Monitoring coverage follows the plane: DRAMS and the centralized baseline
+attach probes to *every* replica (:func:`repro.drams.probe.attach_plane_probes`),
+so sharding never opens an unobserved decision path.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.accesscontrol.decision_cache import DecisionCache
+from repro.accesscontrol.messages import AccessRequest
+from repro.accesscontrol.pdp_service import PdpService
+from repro.accesscontrol.prp import PolicyRetrievalPoint, PolicyVersion
+from repro.common.errors import ValidationError
+from repro.common.ids import short_hash
+from repro.xacml.index import attribute_footprint
+from repro.xacml.parser import policy_from_dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.federation.federation import Federation
+
+
+class DecisionPlane:
+    """Abstract handle PEPs use to reach policy evaluators.
+
+    A plane owns its :class:`PdpService` replicas (created by
+    :meth:`deploy`) and answers one routing question per request:
+    :meth:`endpoints` — which shard addresses to try, in failover order.
+    """
+
+    #: Deployed evaluator services, primary first.  Monitoring systems
+    #: attach probes to every entry; ``services[0]`` is the conventional
+    #: compromise target for the threat experiments.
+    _services: list[PdpService]
+
+    def __init__(self) -> None:
+        self._services = []
+
+    @property
+    def services(self) -> list[PdpService]:
+        return list(self._services)
+
+    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "DecisionPlane":
+        """Create the plane's evaluators in the infrastructure tenant."""
+        raise NotImplementedError
+
+    def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
+        """Shard addresses for ``request``, primary first, failover order."""
+        raise NotImplementedError
+
+    def caches(self) -> list[DecisionCache]:
+        """The distinct decision caches behind the plane (for inspection)."""
+        seen: list[DecisionCache] = []
+        for service in self._services:
+            cache = service.decision_cache
+            if cache is not None and all(cache is not other for other in seen):
+                seen.append(cache)
+        return seen
+
+    def describe(self) -> dict:
+        """Topology summary (benchmarks and the Figure 1 walkthrough)."""
+        return {
+            "kind": type(self).__name__,
+            "shards": len(self._services),
+            "addresses": [service.address for service in self._services],
+        }
+
+    def stats(self) -> dict:
+        """Per-shard service counters plus aggregate cache stats."""
+        return {
+            "requests_served": {
+                service.address: service.requests_served for service in self._services
+            },
+            "caches": [cache.stats() for cache in self.caches()],
+        }
+
+    def _ensure_undeployed(self) -> None:
+        if self._services:
+            raise ValidationError(f"{type(self).__name__} is already deployed")
+
+
+class SinglePdpPlane(DecisionPlane):
+    """Today's topology: one evaluator at ``pdp@infrastructure``.
+
+    ``service_kwargs`` are forwarded to the :class:`PdpService`
+    constructor (cache toggles, processing delays, serialization).
+    """
+
+    def __init__(self, service_kwargs: Optional[dict] = None) -> None:
+        super().__init__()
+        self.service_kwargs = dict(service_kwargs or {})
+        self._endpoints: tuple[str, ...] = ()
+
+    @classmethod
+    def at(cls, address: str) -> "SinglePdpPlane":
+        """Route-only plane for manually wired deployments (tests).
+
+        The evaluator at ``address`` is constructed by the caller; the
+        plane merely routes to it.  ``services`` is empty, so monitoring
+        orchestrators reject such planes — wrap the service with
+        :meth:`wrap` when probes must attach.
+        """
+        plane = cls()
+        plane._endpoints = (address,)
+        return plane
+
+    @classmethod
+    def wrap(cls, service: PdpService) -> "SinglePdpPlane":
+        """Adopt an existing, already-registered evaluator service."""
+        plane = cls()
+        plane._services = [service]
+        plane._endpoints = (service.address,)
+        return plane
+
+    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "SinglePdpPlane":
+        self._ensure_undeployed()
+        if self._endpoints:
+            raise ValidationError("route-only plane (SinglePdpPlane.at) cannot be deployed")
+        infra = federation.infrastructure_tenant
+        service = PdpService(
+            federation.network, infra.address("pdp"), prp, **self.service_kwargs
+        )
+        infra.register_host(service.address)
+        self._services = [service]
+        self._endpoints = (service.address,)
+        return self
+
+    def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
+        if not self._endpoints:
+            raise ValidationError("decision plane is not deployed")
+        return self._endpoints
+
+
+class ShardedPdpPlane(DecisionPlane):
+    """N evaluator replicas behind consistent hashing on the cache key.
+
+    ``cache_policy`` is ``"shared"`` (one :class:`DecisionCache` handed to
+    every replica) or ``"partitioned"`` (one per replica; routing affinity
+    keeps each shard's cache hot).  ``virtual_nodes`` controls ring
+    balance; the default spreads load within a few percent for small
+    shard counts.
+    """
+
+    CACHE_POLICIES = ("shared", "partitioned")
+
+    #: Footprint memo bound — same flip-flop-churn rationale as
+    #: ``PdpService.pdp_cache_size``: policy publications are unbounded
+    #: over a federation's lifetime, distinct *concurrent* versions are not.
+    FOOTPRINT_MEMO_SIZE = 16
+
+    def __init__(
+        self,
+        shards: int = 2,
+        cache_policy: str = "shared",
+        virtual_nodes: int = 32,
+        service_kwargs: Optional[dict] = None,
+    ) -> None:
+        super().__init__()
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        if cache_policy not in self.CACHE_POLICIES:
+            raise ValidationError(
+                f"cache_policy must be one of {self.CACHE_POLICIES}, got {cache_policy!r}"
+            )
+        if virtual_nodes < 1:
+            raise ValidationError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.shards = shards
+        self.cache_policy = cache_policy
+        self.virtual_nodes = virtual_nodes
+        self.service_kwargs = dict(service_kwargs or {})
+        self._prp: Optional[PolicyRetrievalPoint] = None
+        self._footprints: "OrderedDict[str, frozenset]" = OrderedDict()
+        self._ring: list[tuple[int, int]] = []
+        self._ring_points: list[int] = []
+
+    # -- deployment --------------------------------------------------------------
+
+    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "ShardedPdpPlane":
+        self._ensure_undeployed()
+        if self.cache_policy == "partitioned" and "decision_cache" in self.service_kwargs:
+            # Forwarding one cache object to every replica would silently
+            # deploy a shared topology under a "partitioned" label.
+            raise ValidationError(
+                "cache_policy='partitioned' builds one cache per shard; "
+                "pass cache_policy='shared' to supply a decision_cache"
+            )
+        infra = federation.infrastructure_tenant
+        shared_cache = None
+        if self.cache_policy == "shared" and self.service_kwargs.get("use_decision_cache", True):
+            # "or" would discard an *empty* supplied cache (len() == 0 is falsy).
+            supplied = self.service_kwargs.get("decision_cache")
+            shared_cache = supplied if supplied is not None else DecisionCache()
+        services = []
+        for index in range(self.shards):
+            kwargs = dict(self.service_kwargs)
+            if shared_cache is not None:
+                kwargs["decision_cache"] = shared_cache
+            service = PdpService(
+                federation.network, infra.address(f"pdp-{index}"), prp, **kwargs
+            )
+            infra.register_host(service.address)
+            services.append(service)
+        self._adopt(services, prp)
+        return self
+
+    @classmethod
+    def over(
+        cls,
+        services: Sequence[PdpService],
+        prp: Optional[PolicyRetrievalPoint] = None,
+        virtual_nodes: int = 32,
+    ) -> "ShardedPdpPlane":
+        """Wrap already-deployed evaluators (manual wiring and tests).
+
+        Deploy-only knobs (``cache_policy``, ``service_kwargs``) are
+        deliberately not accepted — the adopted services were built by
+        the caller, so the plane cannot change their caches or delays and
+        reports ``cache_policy="external"``.  Pass ``prp`` whenever
+        routing affinity matters: without it the ring keys on the *raw*
+        request content, and per-request attributes (``time-of-day`` in
+        particular) fragment the key space, so partitioned caches see few
+        repeat hits.
+        """
+        if not services:
+            raise ValidationError("a sharded plane needs at least one service")
+        plane = cls(shards=len(services), virtual_nodes=virtual_nodes)
+        plane.cache_policy = "external"  # whatever the adopted services carry
+        plane._adopt(list(services), prp)
+        return plane
+
+    def _adopt(self, services: list[PdpService], prp: Optional[PolicyRetrievalPoint]) -> None:
+        self._services = services
+        self._prp = prp
+        ring = []
+        for index, service in enumerate(services):
+            for vnode in range(self.virtual_nodes):
+                point = int(short_hash(f"{service.address}#vnode-{vnode}", 16), 16)
+                ring.append((point, index))
+        ring.sort()
+        self._ring = ring
+        self._ring_points = [point for point, _ in ring]
+
+    # -- routing -----------------------------------------------------------------
+
+    def route_key(self, request: AccessRequest) -> str:
+        """The decision-cache key for ``request`` under the active policy.
+
+        Routing on exactly the cache key means requests that could share a
+        cached decision always land on the same shard.  Before any policy
+        is published the raw request attributes key the ring instead.
+        """
+        if self._prp is not None and self._prp.version_count() > 0:
+            version = self._prp.current()
+            footprint = self._footprint_for(version)
+            return DecisionCache.request_key(version.fingerprint, request.content, footprint)
+        return DecisionCache.request_key("unversioned", request.content, None)
+
+    def _footprint_for(self, version: PolicyVersion) -> frozenset:
+        footprint = self._footprints.get(version.fingerprint)
+        if footprint is not None:
+            self._footprints.move_to_end(version.fingerprint)
+            return footprint
+        # Prefer the primary shard's compiled footprint: it is the very
+        # projection the shards key their caches with, and reusing it
+        # avoids compiling each policy version a second time on the
+        # routing path.  Falls back to a local compile for route-only
+        # planes over stub services (tests) or a PRP the services do not
+        # share.
+        primary = self._services[0] if self._services else None
+        if isinstance(primary, PdpService) and primary.prp.version_count() > 0:
+            compiled_version, compiled_footprint = primary.current_footprint()
+            if compiled_version.fingerprint == version.fingerprint:
+                footprint = compiled_footprint
+        if footprint is None:
+            footprint = attribute_footprint(policy_from_dict(version.document))
+        self._footprints[version.fingerprint] = footprint
+        while len(self._footprints) > self.FOOTPRINT_MEMO_SIZE:
+            self._footprints.popitem(last=False)
+        return footprint
+
+    def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
+        if not self._services:
+            raise ValidationError("decision plane is not deployed")
+        if len(self._services) == 1:
+            return (self._services[0].address,)
+        point = int(short_hash(self.route_key(request), 16), 16)
+        start = bisect_right(self._ring_points, point)
+        order: list[str] = []
+        seen: set[int] = set()
+        total = len(self._ring)
+        for offset in range(total):
+            _, shard = self._ring[(start + offset) % total]
+            if shard in seen:
+                continue
+            seen.add(shard)
+            order.append(self._services[shard].address)
+            if len(order) == len(self._services):
+                break
+        return tuple(order)
+
+    def describe(self) -> dict:
+        summary = super().describe()
+        summary["cache_policy"] = self.cache_policy
+        summary["virtual_nodes"] = self.virtual_nodes
+        return summary
+
+
+def as_plane(plane_or_service) -> DecisionPlane:
+    """Normalise a plane handle.
+
+    Monitoring orchestrators accept either a :class:`DecisionPlane` or a
+    bare :class:`PdpService` (the pre-plane calling convention); a bare
+    service is adopted into a :class:`SinglePdpPlane`.
+    """
+    if isinstance(plane_or_service, DecisionPlane):
+        return plane_or_service
+    if isinstance(plane_or_service, PdpService):
+        return SinglePdpPlane.wrap(plane_or_service)
+    raise ValidationError(
+        f"expected a DecisionPlane or PdpService, got {type(plane_or_service).__name__}"
+    )

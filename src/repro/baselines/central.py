@@ -25,10 +25,11 @@ from repro.analysis.semantics import DecisionOracle
 from repro.common.rng import SeededRng
 from repro.drams.alerts import Alert, AlertBus, AlertType
 from repro.drams.logs import EntryType, LogEntry
-from repro.drams.probe import attach_pdp_probes, attach_pep_probes, ProbeAgent
+from repro.drams.probe import attach_pep_probes, attach_plane_probes, ProbeAgent
 from repro.federation.federation import Federation
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.plane import DecisionPlane, as_plane
 from repro.accesscontrol.prp import PolicyRetrievalPoint
 from repro.simnet.network import Host, Message, Network
 from repro.storage.database import DatabaseConfig, DatabaseStore
@@ -190,7 +191,8 @@ class CentralizedMonitor(Host):
         ))
 
 
-def attach_centralized_monitoring(federation: Federation, pdp_service: PdpService,
+def attach_centralized_monitoring(federation: Federation,
+                                  plane: "DecisionPlane | PdpService",
                                   peps: dict[str, PolicyEnforcementPoint],
                                   prp: PolicyRetrievalPoint,
                                   timeout_seconds: float = 10.0) -> tuple[
@@ -199,7 +201,9 @@ def attach_centralized_monitoring(federation: Federation, pdp_service: PdpServic
 
     Reuses the same probe implementation as DRAMS — only the destination
     differs — so any detection difference is attributable to the
-    monitoring architecture, not the instrumentation.
+    monitoring architecture, not the instrumentation.  Accepts the
+    federation's decision plane (probes attach to every PDP replica) or,
+    for backwards compatibility, a bare :class:`PdpService`.
     """
     infra = federation.infrastructure_tenant
     monitor = CentralizedMonitor(
@@ -209,6 +213,6 @@ def attach_centralized_monitoring(federation: Federation, pdp_service: PdpServic
     probes: dict[str, ProbeAgent] = {}
     for tenant_name, pep in peps.items():
         probes[f"pep:{tenant_name}"] = attach_pep_probes(pep, monitor.address)
-    probes["pdp"] = attach_pdp_probes(pdp_service, infra.name, monitor.address)
+    probes.update(attach_plane_probes(as_plane(plane), infra.name, monitor.address))
     federation.finalize_topology()
     return monitor, probes

@@ -24,7 +24,12 @@ Components (Figure 1):
 from repro.drams.alerts import Alert, AlertType, AlertBus
 from repro.drams.logs import EntryType, LogEntry
 from repro.drams.contract import MonitorContract
-from repro.drams.probe import attach_pep_probes, attach_pdp_probes, ProbeAgent
+from repro.drams.probe import (
+    ProbeAgent,
+    attach_pdp_probes,
+    attach_pep_probes,
+    attach_plane_probes,
+)
 from repro.drams.logging_interface import LoggingInterface
 from repro.drams.analyser import Analyser
 from repro.drams.system import DramsConfig, DramsSystem
@@ -39,6 +44,7 @@ __all__ = [
     "ProbeAgent",
     "attach_pep_probes",
     "attach_pdp_probes",
+    "attach_plane_probes",
     "LoggingInterface",
     "Analyser",
     "DramsConfig",

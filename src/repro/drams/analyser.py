@@ -63,10 +63,22 @@ class Analyser(Host):
         self.unresolved = 0
         self._seq = 0
         self._verified: set[str] = set()
+        # Pending-correlation index: every correlation seen in a checkable
+        # contract event but not yet verified.  Sweeps walk this index
+        # instead of the full replicated records map, so their cost is
+        # O(pending) rather than O(all correlations ever recorded).  A
+        # dict (not a set) keeps iteration in insertion order — string
+        # hashing is salted per process, and sweep order feeds the chain.
+        self._pending: dict[str, None] = {}
         self._oracles: dict[int, DecisionOracle] = {}
         self._versions: list[PolicyVersion] = list(prp.history())
         prp.on_publish(self._versions.append)
         node.chain.subscribe_events(self._on_contract_event)
+
+    @property
+    def pending_correlations(self) -> int:
+        """Size of the unverified-correlation index (per-sweep workload)."""
+        return len(self._pending)
 
     # -- policy versions ------------------------------------------------------
 
@@ -93,6 +105,7 @@ class Analyser(Host):
         correlation_id = event.payload["correlation_id"]
         if correlation_id in self._verified:
             return
+        self._pending[correlation_id] = None
         self._check_decision(correlation_id)
 
     def _read_plaintext(self, record: dict, entry_type: str) -> Optional[dict]:
@@ -122,6 +135,7 @@ class Analyser(Host):
             self.unresolved += 1
             return
         self._verified.add(correlation_id)
+        self._pending.pop(correlation_id, None)
         self.checked += 1
         # Check against the latest published version: PRP history is the
         # authority on "policies currently in force" (an attacker altering
@@ -160,15 +174,23 @@ class Analyser(Host):
     # -- sweeping (periodic re-check of unresolved correlations) ---------------------
 
     def sweep(self) -> int:
-        """Re-examine any correlation with a pdp-out entry not yet verified.
+        """Re-examine pending correlations whose decision leg is on-chain.
 
         Covers orderings where the request leg landed after the decision
-        leg.  Returns the number of decisions checked in this sweep.
+        leg.  Walks the pending-correlation index — O(pending), not
+        O(records) — so steady-state sweeps over a mostly-verified chain
+        cost nothing.  Returns the number of decisions checked.
         """
+        if not self._pending:
+            return 0
         records = self.node.chain.state_of(CONTRACT_NAME)["records"]
         before = self.checked
-        for correlation_id, record in list(records.items()):
-            if correlation_id in self._verified:
+        for correlation_id in list(self._pending):
+            record = records.get(correlation_id)
+            if record is None:
+                # Pruned by retention (or reorged away): nothing left to
+                # check against, stop re-visiting it.
+                self._pending.pop(correlation_id, None)
                 continue
             if EntryType.PDP_OUT in record["entries"]:
                 self._check_decision(correlation_id)

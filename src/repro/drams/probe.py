@@ -19,6 +19,8 @@ from __future__ import annotations
 from repro.accesscontrol.messages import AccessDecision, AccessRequest
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.plane import DecisionPlane
+from repro.common.errors import ValidationError
 from repro.drams.logs import EntryType, LogEntry
 from repro.simnet.network import Host
 
@@ -86,3 +88,24 @@ def attach_pdp_probes(pdp_service: PdpService, tenant: str, li_address: str) -> 
     pdp_service.on_request_received.append(on_request)
     pdp_service.on_decision.append(on_decision)
     return agent
+
+
+def attach_plane_probes(plane: DecisionPlane, tenant: str,
+                        li_address: str) -> dict[str, ProbeAgent]:
+    """Wire agents to *every* evaluator replica behind a decision plane.
+
+    Monitoring coverage must follow the plane: a sharded pool with an
+    unprobed replica would open a decision path DRAMS never observes.
+    The primary replica keeps the historical ``"pdp"`` probe key (threat
+    experiments target it); further shards get ``"pdp:<index>"``.
+    """
+    services = plane.services
+    if not services:
+        raise ValidationError(
+            "decision plane has no deployed evaluator services to probe "
+            "(route-only planes cannot be monitored)")
+    agents: dict[str, ProbeAgent] = {}
+    for index, service in enumerate(services):
+        key = "pdp" if index == 0 else f"pdp:{index}"
+        agents[key] = attach_pdp_probes(service, tenant, li_address)
+    return agents

@@ -4,7 +4,8 @@ Wires the full Figure 1 stack over a federation:
 
 - one blockchain node + one Logging Interface per tenant (members and
   infrastructure), full-mesh gossip, all nodes mining (private PoW chain);
-- probing agents on every member-tenant PEP and on the PDP;
+- probing agents on every member-tenant PEP and on every PDP replica the
+  decision plane deploys (one probe per shard);
 - the monitor smart contract deployed chain-wide;
 - the Analyser with its own blockchain node, registered in the
   infrastructure tenant but in a separate section from the access control
@@ -32,10 +33,11 @@ from repro.drams.analyser import Analyser
 from repro.drams.contract import CONTRACT_NAME, MonitorContract
 from repro.drams.logs import EntryType
 from repro.drams.logging_interface import LoggingInterface
-from repro.drams.probe import ProbeAgent, attach_pdp_probes, attach_pep_probes
+from repro.drams.probe import ProbeAgent, attach_pep_probes, attach_plane_probes
 from repro.federation.federation import Federation
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.plane import DecisionPlane, as_plane
 from repro.accesscontrol.prp import PolicyRetrievalPoint
 
 
@@ -74,12 +76,21 @@ class DramsSystem:
     """The deployed monitoring system for one federation."""
 
     def __init__(self, federation: Federation, prp: PolicyRetrievalPoint,
-                 pdp_service: PdpService,
+                 plane: "DecisionPlane | PdpService",
                  peps: dict[str, PolicyEnforcementPoint],
                  config: Optional[DramsConfig] = None) -> None:
         self.federation = federation
         self.prp = prp
-        self.pdp_service = pdp_service
+        # The decision plane decides how many PDP evaluators exist; a bare
+        # PdpService (the pre-plane calling convention) is adopted into a
+        # single-evaluator plane.
+        self.plane = as_plane(plane)
+        self.pdp_services = self.plane.services
+        if not self.pdp_services:
+            raise ValidationError("decision plane has no deployed PDP services to monitor")
+        #: The primary evaluator — kept as an attribute because the threat
+        #: experiments compromise it by name (`drams.pdp_service`).
+        self.pdp_service = self.pdp_services[0]
         self.peps = dict(peps)
         self.config = config or DramsConfig()
         self.alerts = AlertBus()
@@ -174,14 +185,17 @@ class DramsSystem:
         for node in self.nodes.values():
             node.connect(node_addresses)
 
-        # Probes: each member PEP, plus the PDP in the infrastructure tenant.
+        # Probes: each member PEP, plus *every* PDP replica the decision
+        # plane deployed in the infrastructure tenant — monitoring
+        # coverage follows the plane, so sharding never opens an
+        # unobserved decision path.
         infra_li = self.interfaces[infra.name].address
         for tenant_name, pep in self.peps.items():
             li = self.interfaces.get(tenant_name)
             if li is None:
                 raise ValidationError(f"no logging interface for tenant {tenant_name!r}")
             self.probes[f"pep:{tenant_name}"] = attach_pep_probes(pep, li.address)
-        self.probes["pdp"] = attach_pdp_probes(self.pdp_service, infra.name, infra_li)
+        self.probes.update(attach_plane_probes(self.plane, infra.name, infra_li))
 
         self.federation.finalize_topology()
 

@@ -4,6 +4,13 @@ Every example and benchmark builds the same stack: a federation, the
 XACML access control components deployed over it, a workload and (usually)
 DRAMS on top.  :class:`MonitoredFederation` packages that wiring so
 experiment code reads as *what* is measured, not *how* the pieces connect.
+
+The decision plane is topology configuration: ``build(plane=...)`` accepts
+any :class:`~repro.accesscontrol.plane.DecisionPlane` and defaults to
+:class:`~repro.accesscontrol.plane.SinglePdpPlane` (the paper's single
+evaluator, bit-identical to the pre-plane wiring).  Pass
+``ShardedPdpPlane(shards=4)`` to deploy a consistent-hashed PDP pool
+instead; PEPs, DRAMS probes and the baselines all follow the plane.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from typing import Callable, Optional
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import EnforcedAccess, PolicyEnforcementPoint
+from repro.accesscontrol.plane import DecisionPlane, SinglePdpPlane
 from repro.accesscontrol.prp import PolicyRetrievalPoint
 from repro.common.errors import ValidationError
 from repro.common.ids import short_hash
@@ -31,7 +39,7 @@ class MonitoredFederation:
     federation: Federation
     prp: PolicyRetrievalPoint
     pap: PolicyAdministrationPoint
-    pdp_service: PdpService
+    plane: DecisionPlane
     peps: dict[str, PolicyEnforcementPoint]
     generator: RequestGenerator
     drams: Optional[DramsSystem] = None
@@ -41,43 +49,48 @@ class MonitoredFederation:
     # -- construction ------------------------------------------------------------
 
     @classmethod
-    def build(cls, scenario: Scenario, clouds: int = 2, seed: int = 7,
-              drams_config: Optional[DramsConfig] = None,
-              with_drams: bool = True,
-              federation_config: Optional[FederationConfig] = None,
-              ) -> "MonitoredFederation":
+    def build(
+        cls,
+        scenario: Scenario,
+        clouds: int = 2,
+        seed: int = 7,
+        drams_config: Optional[DramsConfig] = None,
+        with_drams: bool = True,
+        federation_config: Optional[FederationConfig] = None,
+        plane: Optional[DecisionPlane] = None,
+    ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
-        ``with_drams=False`` yields the unmonitored system (the E7
-        overhead experiment's control arm and the baseline experiments'
-        substrate).
+        ``plane`` configures the decision plane topology (default: one
+        PDP evaluator).  ``with_drams=False`` yields the unmonitored
+        system (the E7 overhead experiment's control arm and the baseline
+        experiments' substrate).
         """
         fed_config = federation_config or FederationConfig(
-            name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed)
+            name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed
+        )
         federation = Federation(fed_config)
-        infra = federation.infrastructure_tenant
 
         prp = PolicyRetrievalPoint()
-        pap = PolicyAdministrationPoint(prp, administrator=f"pap@{infra.name}")
+        infra_name = federation.infrastructure_tenant.name
+        pap = PolicyAdministrationPoint(prp, administrator=f"pap@{infra_name}")
         pap.publish(scenario.policy_document)
 
-        pdp_service = PdpService(federation.network, infra.address("pdp"), prp)
-        infra.register_host(pdp_service.address)
+        plane = plane if plane is not None else SinglePdpPlane()
+        plane.deploy(federation, prp)
 
         peps: dict[str, PolicyEnforcementPoint] = {}
         for tenant in federation.member_tenants:
             pep = PolicyEnforcementPoint(
-                federation.network, tenant.address("pep"), tenant.name,
-                pdp_service.address)
+                federation.network, tenant.address("pep"), tenant.name, plane
+            )
             tenant.register_host(pep.address)
             peps[tenant.name] = pep
 
-        generator = RequestGenerator(scenario.workload,
-                                     federation.rng.fork("scenario-workload"))
+        generator = RequestGenerator(scenario.workload, federation.rng.fork("scenario-workload"))
         drams = None
         if with_drams:
-            drams = DramsSystem(federation, prp, pdp_service, peps,
-                                drams_config or DramsConfig())
+            drams = DramsSystem(federation, prp, plane, peps, drams_config or DramsConfig())
         else:
             federation.finalize_topology()
         return cls(
@@ -85,7 +98,7 @@ class MonitoredFederation:
             federation=federation,
             prp=prp,
             pap=pap,
-            pdp_service=pdp_service,
+            plane=plane,
             peps=peps,
             generator=generator,
             drams=drams,
@@ -97,6 +110,16 @@ class MonitoredFederation:
     def sim(self):
         return self.federation.sim
 
+    @property
+    def pdp_service(self) -> PdpService:
+        """The plane's primary evaluator (threat experiments target it)."""
+        return self.plane.services[0]
+
+    @property
+    def pdp_services(self) -> list[PdpService]:
+        """Every evaluator replica behind the plane."""
+        return self.plane.services
+
     def start(self) -> None:
         if self.drams is not None:
             self.drams.start()
@@ -106,15 +129,17 @@ class MonitoredFederation:
 
     # -- workload ------------------------------------------------------------------
 
-    def _tenant_for(self, request: GeneratedRequest) -> str:
-        tenants = sorted(self.peps)
-        if not tenants:
-            raise ValidationError("no PEPs deployed")
+    def _tenant_for(self, request: GeneratedRequest, tenants: list[str]) -> str:
+        """Round-robin entry tenant; ``tenants`` is the batch's hoisted,
+        sorted PEP tenant list (validated non-empty by the caller)."""
         return tenants[request.index % len(tenants)]
 
-    def issue_requests(self, count: int, start_at: float = 0.5,
-                       on_outcome: Optional[Callable[[EnforcedAccess], None]] = None,
-                       ) -> list[GeneratedRequest]:
+    def issue_requests(
+        self,
+        count: int,
+        start_at: float = 0.5,
+        on_outcome: Optional[Callable[[EnforcedAccess], None]] = None,
+    ) -> list[GeneratedRequest]:
         """Schedule ``count`` generated requests onto the PEPs.
 
         Each request enters through a member tenant's PEP at its generated
@@ -122,32 +147,44 @@ class MonitoredFederation:
         scenarios' locality rules are exercised.
         """
         issued = []
+        # Hoisted once per batch: both the round-robin entry tenant and the
+        # owner-tenant assignment index into the same stable, sorted list.
         tenants = sorted(self.peps)
+        if not tenants:
+            raise ValidationError("no PEPs deployed")
         for request in self.generator.requests(count, start_at=start_at):
-            tenant = self._tenant_for(request)
+            tenant = self._tenant_for(request, tenants)
             resource = dict(request.resource)
             # Stable assignment (string hash() is salted per process).
             owner_index = int(short_hash(resource["resource-id"]), 16) % len(tenants)
             resource.setdefault("owner-tenant", tenants[owner_index])
 
-            def dispatch(tenant=tenant, subject=request.subject,
-                         resource=resource, action=request.action) -> None:
+            def dispatch(
+                tenant=tenant,
+                subject=request.subject,
+                resource=resource,
+                action=request.action,
+            ) -> None:
                 self.peps[tenant].request_access(
-                    subject=subject, resource=resource, action=action,
-                    callback=self._record_outcome(on_outcome))
+                    subject=subject,
+                    resource=resource,
+                    action=action,
+                    callback=self._record_outcome(on_outcome),
+                )
 
-            self.sim.schedule_at(request.at, dispatch,
-                                 label=f"workload:{request.index}")
+            self.sim.schedule_at(request.at, dispatch, label=f"workload:{request.index}")
             issued.append(request)
             self.issued += 1
         return issued
 
-    def _record_outcome(self, extra: Optional[Callable[[EnforcedAccess], None]]
-                        ) -> Callable[[EnforcedAccess], None]:
+    def _record_outcome(
+        self, extra: Optional[Callable[[EnforcedAccess], None]]
+    ) -> Callable[[EnforcedAccess], None]:
         def callback(outcome: EnforcedAccess) -> None:
             self.outcomes.append(outcome)
             if extra is not None:
                 extra(outcome)
+
         return callback
 
     # -- measurements -----------------------------------------------------------------

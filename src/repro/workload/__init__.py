@@ -6,10 +6,11 @@ sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — five concrete federation scenarios
+- :mod:`repro.workload.scenarios` — six concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
-  cross-cloud delegation; audit-burst compliance logging), each with its
-  policy set, population and expected decision mix.
+  cross-cloud delegation; audit-burst compliance logging; federation-scale
+  service sharing), each with its policy set, population and expected
+  decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -19,6 +20,7 @@ from repro.workload.scenarios import (
     all_scenarios,
     audit_burst_scenario,
     delegation_scenario,
+    federation_scale_scenario,
     healthcare_scenario,
     iot_edge_scenario,
     ministry_scenario,
@@ -33,6 +35,7 @@ __all__ = [
     "all_scenarios",
     "audit_burst_scenario",
     "delegation_scenario",
+    "federation_scale_scenario",
     "healthcare_scenario",
     "iot_edge_scenario",
     "ministry_scenario",

@@ -28,6 +28,13 @@ A fifth scenario stresses the *monitoring plane* instead of the PDP:
   operational traffic continues, driving block templates into the
   mempool/block-assembly limits (``max_block_txs``/``max_block_bytes``).
 
+A sixth scenario stresses the *decision plane* (E11):
+
+- :func:`federation_scale_scenario` — a whole-of-government service
+  federation whose request arrival rate exceeds a single evaluator's
+  service rate, so one PDP saturates and throughput only scales by
+  sharding the decision plane (``ShardedPdpPlane``).
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -578,6 +585,103 @@ def audit_burst_scenario() -> Scenario:
     )
 
 
+#: Service classes of the whole-of-government federation:
+#: class → (reader roles, writer roles).  Caseworkers operate the citizen-
+#: facing registers, analysts and auditors consume them, service bots feed
+#: the bulk ingestion pipelines.
+_FEDERATION_SERVICE_CLASSES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "citizen-registry": (("caseworker", "analyst", "auditor"), ("caseworker",)),
+    "tax-filing": (("caseworker", "auditor"), ("caseworker",)),
+    "vehicle-licensing": (("caseworker", "analyst"), ("caseworker",)),
+    "land-registry": (("caseworker", "auditor"), ("caseworker",)),
+    "health-insurance": (("caseworker", "analyst", "auditor"), ("caseworker",)),
+    "pension-claims": (("caseworker", "auditor"), ("caseworker",)),
+    "customs-declarations": (("analyst", "auditor"), ("service-bot",)),
+    "border-crossings": (("analyst", "auditor"), ("service-bot",)),
+    "energy-subsidies": (("caseworker", "analyst"), ("service-bot",)),
+    "education-records": (("caseworker", "analyst"), ("caseworker",)),
+    "employment-records": (("caseworker", "analyst", "auditor"), ("caseworker",)),
+    "social-housing": (("caseworker",), ("caseworker",)),
+    "court-filings": (("auditor",), ("caseworker",)),
+    "census-extracts": (("analyst", "auditor"), ("service-bot",)),
+    "procurement-bids": (("analyst", "auditor"), ("service-bot",)),
+    "grant-applications": (("caseworker", "analyst"), ("caseworker",)),
+}
+
+_FEDERATION_AUDITED_CLASSES = ("court-filings", "procurement-bids")
+
+
+def federation_scale_scenario() -> Scenario:
+    """Whole-of-government service federation sized to saturate one PDP.
+
+    Sixteen service classes, a large mixed population and a request
+    arrival rate (2 500/s) above a single evaluator's cache-hit service
+    rate (1 / ``base_processing_delay`` = 2 000/s with the deployed
+    defaults), so the decision backlog grows without bound until the
+    decision plane is sharded.  E11 uses it for the per-shard-count
+    throughput arms; writes stay home-tenant-gated so the sharded plane's
+    routing sees both locality branches.
+    """
+    policies = []
+    for service_class, (readers, writers) in _FEDERATION_SERVICE_CLASSES.items():
+        obligations = []
+        if service_class in _FEDERATION_AUDITED_CLASSES:
+            obligations.append(Obligation(
+                f"audit-{service_class}", "Permit",
+                {"reason": "public-integrity register"}))
+        policies.append(Policy(
+            policy_id=f"svc-{service_class}",
+            rule_combining="permit-overrides",
+            target=Target.single("string-equal", service_class, "resource", "type"),
+            rules=[
+                Rule(f"{service_class}-read", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", readers),
+                     condition=_action_is("read")),
+                Rule(f"{service_class}-home-write", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", writers),
+                     condition=Apply("and", (_action_is("write"),
+                                             _home_tenant()))),
+            ],
+            obligations=obligations,
+            description=f"{service_class}: read {readers}, home-write {writers}.",
+        ))
+
+    root = PolicySet(
+        policy_set_id="federation-scale",
+        policy_combining="deny-unless-permit",
+        children=policies,
+        description="Whole-of-government service classes; default deny.",
+    )
+
+    roles = ("caseworker", "analyst", "auditor", "service-bot")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(_FEDERATION_SERVICE_CLASSES))
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=500,
+        resources=2000,
+        roles=roles,
+        role_weights=(0.4, 0.25, 0.15, 0.2),
+        resource_types=tuple(_FEDERATION_SERVICE_CLASSES),
+        actions=("read", "write"),
+        action_weights=(0.65, 0.35),
+        zipf_skew=1.1,
+        arrival_rate=2500.0,
+    )
+    return Scenario(
+        name="federation-scale",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="A whole-of-government federation whose arrival rate "
+                    "exceeds one PDP evaluator's service rate.",
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -589,4 +693,5 @@ SCENARIO_FACTORIES = (
     iot_edge_scenario,
     delegation_scenario,
     audit_burst_scenario,
+    federation_scale_scenario,
 )

@@ -11,6 +11,7 @@ import pytest
 
 from repro.blockchain.config import BlockchainConfig
 from repro.blockchain.contracts import ContractRegistry, KeyValueContract
+from repro.common.ids import reset_id_counter
 from repro.common.rng import SeededRng
 from repro.drams.system import DramsConfig
 from repro.harness import MonitoredFederation
@@ -18,6 +19,18 @@ from repro.simnet.latency import ConstantLatency
 from repro.simnet.network import Network
 from repro.simnet.simulator import Simulator
 from repro.workload.scenarios import healthcare_scenario, ministry_scenario
+
+
+@pytest.fixture(autouse=True)
+def _fresh_id_counter():
+    """Start every test's minted ids from the same origin.
+
+    The id counter is process-global and id-derived artefacts feed
+    timing (tx ids → canonical sizes → sampled latencies), so without
+    this, adding a test in one module could shift the deterministic
+    behaviour of every module collected after it.
+    """
+    reset_id_counter()
 
 
 @pytest.fixture

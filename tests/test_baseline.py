@@ -11,7 +11,7 @@ def build_baseline_stack(seed=70):
     stack = MonitoredFederation.build(healthcare_scenario(), clouds=2,
                                       seed=seed, with_drams=False)
     monitor, probes = attach_centralized_monitoring(
-        stack.federation, stack.pdp_service, stack.peps, stack.prp,
+        stack.federation, stack.plane, stack.peps, stack.prp,
         timeout_seconds=5.0)
     monitor.start()
     return stack, monitor, probes

@@ -7,6 +7,7 @@ from repro.accesscontrol.messages import AccessDecision
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
+from repro.accesscontrol.plane import SinglePdpPlane
 from repro.accesscontrol.prp import PolicyRetrievalPoint
 from repro.common.rng import SeededRng
 from repro.simnet.latency import ConstantLatency
@@ -41,8 +42,8 @@ def deployment():
     pap = PolicyAdministrationPoint(prp, administrator="admin")
     pap.publish(doctors_policy())
     pdp = PdpService(network, "pdp@infra", prp)
-    pep = PolicyEnforcementPoint(network, "pep@t1", "tenant-1", "pdp@infra",
-                                 request_timeout=5.0)
+    pep = PolicyEnforcementPoint(network, "pep@t1", "tenant-1",
+                                 SinglePdpPlane.wrap(pdp), request_timeout=5.0)
     return sim, prp, pap, pdp, pep
 
 
@@ -269,8 +270,8 @@ class TestPdpServiceIntegration:
         prp = PolicyRetrievalPoint()
         PolicyAdministrationPoint(prp, "admin").publish(doctors_policy())
         pdp = PdpService(network, "pdp@infra", prp, use_decision_cache=False)
-        pep = PolicyEnforcementPoint(network, "pep@t1", "tenant-1", "pdp@infra",
-                                     request_timeout=5.0)
+        pep = PolicyEnforcementPoint(network, "pep@t1", "tenant-1",
+                                     SinglePdpPlane.wrap(pdp), request_timeout=5.0)
         outcomes = []
         for _ in range(2):
             ask(sim, pep, outcomes)
