@@ -11,6 +11,7 @@ from repro.drams.system import DramsConfig
 from repro.blockchain.config import BlockchainConfig
 from repro.harness import MonitoredFederation
 from repro.metrics.tables import format_table
+from repro.policydist import ReplicatedPrpPlane
 from repro.threats.adversary import Adversary
 from repro.threats.attacks import (
     CircumventionAttack,
@@ -21,6 +22,7 @@ from repro.threats.attacks import (
     ProbeSuppressionAttack,
     ReplayAttack,
     RequestTamperAttack,
+    TamperedPrpReplicaAttack,
 )
 from repro.workload.scenarios import healthcare_scenario
 from repro.xacml.parser import policy_to_dict
@@ -46,9 +48,10 @@ def rogue_policy() -> dict:
         rules=[Rule("allow-everything", Effect.PERMIT)]))
 
 
-def run_one(attack, use_tpm=False, seed=123, extra_steps=None):
+def run_one(attack, use_tpm=False, seed=123, extra_steps=None, policy_plane=None):
     stack = MonitoredFederation.build(healthcare_scenario(), clouds=2,
-                                      seed=seed, drams_config=demo_config(use_tpm))
+                                      seed=seed, drams_config=demo_config(use_tpm),
+                                      policy_plane=policy_plane)
     stack.start()
     adversary = Adversary(stack.drams)
     adversary.launch(attack, at=0.5)
@@ -94,6 +97,13 @@ def main() -> None:
     rows.append(run_one(ReplayAttack("tenant-1"), seed=9,
                         extra_steps=fire_replay))
 
+    # Policy-plane attack: needs a replicated PRP plane — against a shared
+    # single store the tamper would rewrite the Analyser's own view too.
+    rows.append(run_one(
+        TamperedPrpReplicaAttack(rogue_policy()), seed=10,
+        policy_plane=ReplicatedPrpPlane(propagation_delay=0.1,
+                                        propagation_jitter=0.05)))
+
     print(format_table(rows, title="DRAMS detection results"))
     print("\nReading the table:")
     print("  - request/decision tampering -> hash-mismatch alerts from the")
@@ -105,7 +115,10 @@ def main() -> None:
     print("  - log tampering without TPM -> forged commitment disagrees with")
     print("    the honest side; with TPM the LI loses the sealed key and")
     print("    attestation pinpoints the compromised host;")
-    print("  - replay -> same correlation id, different payload: equivocation.")
+    print("  - replay -> same correlation id, different payload: equivocation;")
+    print("  - tampered PRP replica -> decisions carry a policy fingerprint no")
+    print("    publisher ever produced; the Analyser's provenance audit flags")
+    print("    them as policy-violation once its replica-lag grace expires.")
 
 
 if __name__ == "__main__":

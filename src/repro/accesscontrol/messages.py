@@ -14,10 +14,12 @@ as long as both replicas evaluate under the same policy version — equal
 decision payloads too, so the monitor contract sees duplicate but
 consistent log entries and stays quiet.  A policy publish racing a
 failover *can* make two honest replicas answer one correlation
-differently; the contract then reports equivocation, which is the
-monitor working as specified — one request observably received two
-decisions — though it attributes policy churn to the infrastructure
-(version-tagged decision logs are the roadmap fix).
+differently; because every decision is stamped with the policy
+``(version, fingerprint)`` it was evaluated under, the monitor contract
+reads that as *policy churn* (two replicas, two declared policy versions)
+rather than equivocation against honest replicas, and the Analyser
+decides — against its own policy history and the configured staleness
+bound — whether the skew was honest propagation or a violation.
 """
 
 from __future__ import annotations
@@ -82,12 +84,24 @@ class AccessRequest:
 
 
 def decision_payload(request_id: str, decision: str,
-                     obligations: list[dict] | None = None) -> dict:
-    """The semantic decision content hashed at PDP-out and PEP-enforce."""
+                     obligations: list[dict] | None = None,
+                     policy_version: int = 0,
+                     policy_fingerprint: str = "") -> dict:
+    """The semantic decision content hashed at PDP-out and PEP-enforce.
+
+    ``policy_version``/``policy_fingerprint`` declare which policy the
+    evaluator claims it decided under (0/"" when no policy was published,
+    or for locally fabricated decisions that never saw an evaluator).
+    They are part of the hashed payload: a decision and its provenance
+    travel — and commit — together, which is what lets the monitor tell
+    replica version skew apart from tampering.
+    """
     return {
         "request_id": request_id,
         "decision": decision,
         "obligations": obligations or [],
+        "policy_version": policy_version,
+        "policy_fingerprint": policy_fingerprint,
     }
 
 
@@ -100,9 +114,14 @@ class AccessDecision:
     obligations: list[dict] = field(default_factory=list)
     status_code: str = ""
     decided_at: float = 0.0
+    #: Policy provenance stamp: the version/fingerprint the evaluator
+    #: decided under (see :func:`decision_payload`).
+    policy_version: int = 0
+    policy_fingerprint: str = ""
 
     def semantic_payload(self) -> dict:
-        return decision_payload(self.request_id, self.decision, self.obligations)
+        return decision_payload(self.request_id, self.decision, self.obligations,
+                                self.policy_version, self.policy_fingerprint)
 
     def payload_hash(self) -> str:
         return hash_value(self.semantic_payload())
@@ -114,6 +133,8 @@ class AccessDecision:
             "obligations": list(self.obligations),
             "status_code": self.status_code,
             "decided_at": self.decided_at,
+            "policy_version": self.policy_version,
+            "policy_fingerprint": self.policy_fingerprint,
         }
 
     @classmethod
@@ -124,4 +145,6 @@ class AccessDecision:
             obligations=list(data.get("obligations", [])),
             status_code=data.get("status_code", ""),
             decided_at=float(data.get("decided_at", 0.0)),
+            policy_version=int(data.get("policy_version", 0)),
+            policy_fingerprint=data.get("policy_fingerprint", ""),
         )

@@ -4,6 +4,13 @@ The management front-end through which federation operators author and
 publish policies.  Publication validates the document (it must parse into
 the object model and evaluate), optionally runs the change-impact analysis
 against the outgoing version, and hands the result to the PRP.
+
+Under a replicated policy distribution plane (:mod:`repro.policydist`)
+the PAP binds to the plane's *authority* store — the publisher's own
+view.  That keeps two invariants: the change-impact analysis always
+compares against the publisher's current version (never a stale
+replica's), and replicas stay read-only (their ``publish`` raises), so
+there is exactly one version-numbering authority to converge on.
 """
 
 from __future__ import annotations

@@ -11,6 +11,13 @@ repeated requests without re-walking the policy tree.  Cached and indexed
 decisions are bit-identical to slow-path evaluation (differential tests
 enforce this), so probes and DRAMS observe the same behaviour either way.
 
+Every decision (and hence its ``pdp-out`` log entry) is stamped with the
+policy ``(version, fingerprint)`` it was evaluated under, so when PRP
+replicas skew (see :mod:`repro.policydist`) the monitoring plane can tell
+honest propagation churn from tampering.  The decision cache keys on the
+fingerprint, so a stale replica serving version *k* never pollutes a
+fresh replica's cache even when the cache is shared across shards.
+
 Probe hooks (DRAMS attaches here):
 
 - ``on_request_received(request)`` — fired when a request arrives (PDP-in),
@@ -173,13 +180,20 @@ class PdpService(Host):
     def _evaluate_and_reply(self, request: AccessRequest, reply_to: str,
                             keyed: Optional[tuple[str, str]] = None) -> None:
         self.requests_served += 1
-        payload = self._decide(request, keyed)
+        payload, version = self._decide(request, keyed)
         decision = AccessDecision(
             request_id=request.request_id,
             decision=payload["decision"],
             obligations=payload["obligations"],
             status_code=payload["status_code"],
             decided_at=self.sim.now,
+            # Provenance stamp: the policy this evaluator claims it decided
+            # under.  On the compromised-override path the stamp still names
+            # the PRP's version — an attacker forging decisions forges a
+            # legitimate-looking stamp, and only the Analyser's re-derivation
+            # exposes the lie.
+            policy_version=version.version if version is not None else 0,
+            policy_fingerprint=version.fingerprint if version is not None else "",
         )
         if self.evaluation_interceptor is not None:
             decision = self.evaluation_interceptor(request, decision)
@@ -188,17 +202,20 @@ class PdpService(Host):
         self.send(reply_to, "ac_response", decision.to_dict())
 
     def _decide(self, request: AccessRequest,
-                keyed: Optional[tuple[str, str]] = None) -> dict:
-        """Serialized response for ``request``: cached, indexed, or overridden."""
+                keyed: Optional[tuple[str, str]] = None
+                ) -> tuple[dict, Optional[PolicyVersion]]:
+        """Serialized response for ``request`` plus the policy version used:
+        cached, indexed, or overridden."""
         if self.policy_override is not None:
             # Compromised evaluation path: never consult or feed the cache.
             response = self.policy_override.evaluate(
                 RequestContext.from_dict(request.content))
+            claimed = self.prp.current() if self.prp.version_count() else None
             return {
                 "decision": response.decision.value,
                 "status_code": response.status_code,
                 "obligations": [ob.to_dict() for ob in response.obligations],
-            }
+            }, claimed
         version, compiled = self._compiled_current()
         key = None
         if self.decision_cache is not None:
@@ -209,7 +226,7 @@ class PdpService(Host):
                     version.fingerprint, request.content, compiled.footprint)
             cached = self.decision_cache.get(key)
             if cached is not None:
-                return cached
+                return cached, version
         response = compiled.pdp.evaluate(RequestContext.from_dict(request.content))
         payload = {
             "decision": response.decision.value,
@@ -218,7 +235,7 @@ class PdpService(Host):
         }
         if key is not None:
             self.decision_cache.put(key, version.fingerprint, payload)
-        return payload
+        return payload, version
 
 
 def _count_rules(document: dict) -> int:

@@ -70,9 +70,28 @@ class DecisionPlane:
     def services(self) -> list[PdpService]:
         return list(self._services)
 
-    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "DecisionPlane":
-        """Create the plane's evaluators in the infrastructure tenant."""
+    def deploy(self, federation: "Federation", prp) -> "DecisionPlane":
+        """Create the plane's evaluators in the infrastructure tenant.
+
+        ``prp`` is either a bare :class:`PolicyRetrievalPoint` (every
+        evaluator shares it, the pre-policydist convention) or a
+        :class:`~repro.policydist.plane.PolicyDistributionPlane`, in which
+        case each evaluator reads from the replica the policy plane
+        assigns it (``pdp``, ``pdp-0``, … as consumer names).
+        """
         raise NotImplementedError
+
+    @staticmethod
+    def _policy_plane(prp):
+        """Normalise ``prp`` into a policy distribution plane.
+
+        Imported lazily: :mod:`repro.policydist` imports this package's
+        ``prp`` module, so a module-level import here would deadlock
+        whichever package is imported first.
+        """
+        from repro.policydist.plane import as_policy_plane
+
+        return as_policy_plane(prp)
 
     def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
         """Shard addresses for ``request``, primary first, failover order."""
@@ -142,13 +161,17 @@ class SinglePdpPlane(DecisionPlane):
         plane._endpoints = (service.address,)
         return plane
 
-    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "SinglePdpPlane":
+    def deploy(self, federation: "Federation", prp) -> "SinglePdpPlane":
         self._ensure_undeployed()
         if self._endpoints:
             raise ValidationError("route-only plane (SinglePdpPlane.at) cannot be deployed")
+        policy_plane = self._policy_plane(prp).deploy(federation)
         infra = federation.infrastructure_tenant
         service = PdpService(
-            federation.network, infra.address("pdp"), prp, **self.service_kwargs
+            federation.network,
+            infra.address("pdp"),
+            policy_plane.retrieval_point_for("pdp"),
+            **self.service_kwargs,
         )
         infra.register_host(service.address)
         self._services = [service]
@@ -205,7 +228,7 @@ class ShardedPdpPlane(DecisionPlane):
 
     # -- deployment --------------------------------------------------------------
 
-    def deploy(self, federation: "Federation", prp: PolicyRetrievalPoint) -> "ShardedPdpPlane":
+    def deploy(self, federation: "Federation", prp) -> "ShardedPdpPlane":
         self._ensure_undeployed()
         if self.cache_policy == "partitioned" and "decision_cache" in self.service_kwargs:
             # Forwarding one cache object to every replica would silently
@@ -214,6 +237,7 @@ class ShardedPdpPlane(DecisionPlane):
                 "cache_policy='partitioned' builds one cache per shard; "
                 "pass cache_policy='shared' to supply a decision_cache"
             )
+        policy_plane = self._policy_plane(prp).deploy(federation)
         infra = federation.infrastructure_tenant
         shared_cache = None
         if self.cache_policy == "shared" and self.service_kwargs.get("use_decision_cache", True):
@@ -225,12 +249,21 @@ class ShardedPdpPlane(DecisionPlane):
             kwargs = dict(self.service_kwargs)
             if shared_cache is not None:
                 kwargs["decision_cache"] = shared_cache
+            # Each shard reads policy from its own assigned replica; under
+            # a SingleStorePlane these all alias one store (the pre-plane
+            # wiring), under a ReplicatedPrpPlane they skew independently.
             service = PdpService(
-                federation.network, infra.address(f"pdp-{index}"), prp, **kwargs
+                federation.network,
+                infra.address(f"pdp-{index}"),
+                policy_plane.retrieval_point_for(f"pdp-{index}"),
+                **kwargs,
             )
             infra.register_host(service.address)
             services.append(service)
-        self._adopt(services, prp)
+        # Route on the authority store's head: affinity only needs the key
+        # to be consistent across requests, and the publisher's view is the
+        # one stable head while replicas converge.
+        self._adopt(services, policy_plane.authority)
         return self
 
     @classmethod

@@ -13,7 +13,15 @@ Each alert type maps to a threat from the paper's motivation:
 - ``INCORRECT_DECISION`` — the Analyser re-derived a different decision
   from the policies in force (policy or evaluation process altered),
 - ``ATTESTATION_FAILURE`` — a TPM-protected off-chain component no longer
-  matches its sealed measurement (component integrity lost).
+  matches its sealed measurement (component integrity lost),
+- ``POLICY_CHURN`` — two honest-looking reports for one monitoring point
+  declare *different* policy fingerprints: a policy publish raced the
+  request across PRP replicas (informational; the Analyser judges whether
+  the skew was within the staleness bound),
+- ``POLICY_VIOLATION`` — a decision's declared policy provenance is bad:
+  the fingerprint is unknown to the policy history (tampered PRP replica)
+  or the declared version trails the policy in force by more than the
+  staleness bound (stale-policy replay).
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ class AlertType(Enum):
     EQUIVOCATION = "equivocation"
     INCORRECT_DECISION = "incorrect-decision"
     ATTESTATION_FAILURE = "attestation-failure"
+    POLICY_CHURN = "policy-churn"
+    POLICY_VIOLATION = "policy-violation"
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,25 @@ the Analyser) of the four monitoring points, and applies the paper's
    between issuance and enforcement → ``DECISION_MISMATCH``.
 3. **Equivocation** — a second, different payload for an already-recorded
    monitoring point → ``EQUIVOCATION`` (replays, double reporting).
+   Exception: when the two payloads *declare different policy versions*
+   (decision entries are stamped with the policy they were evaluated
+   under), two honest evaluators may have answered under skewed PRP
+   replicas → ``POLICY_CHURN`` instead.  The stamps live in
+   attacker-reachable payloads, so churn is a *claim*, never a verdict:
+   the contract rejects honestly-impossible or unauditable stamp pairs
+   (same declared version, or a side without its ciphertext, stays
+   ``EQUIVOCATION``; equal fingerprints under different versions — an
+   identical re-publish — remain churn),
+   keeps the conflicting report (``churn_reports``, ciphertext included)
+   in the record, and the Analyser — which holds the policy history —
+   audits every churn-classified payload: its fingerprint must belong to
+   a published version *and* its decision must be what that version
+   entails, else the churn claim becomes an on-chain
+   ``policy-violation``.  Downgrading a tamper to churn therefore
+   requires behaving exactly like an honest replica under a real
+   version — which is churn.  With ``store_ciphertexts=False`` the audit
+   would be impossible, so the downgrade is disabled with it: conflicts
+   stay ``EQUIVOCATION`` in that configuration.
 4. **Timeout sweep** — ``tick`` flags records whose expected entries did
    not all arrive within ``timeout_blocks`` of the first one →
    ``MISSING_LOG`` (circumvented components, suppressed probes).
@@ -20,6 +39,14 @@ the Analyser) of the four monitoring points, and applies the paper's
 The Analyser contributes decision-correctness verdicts via
 ``report_violation`` so that even *semantic* violations end up on-chain and
 non-repudiable.
+
+Sweep cost: ``tick`` walks two indices instead of the full records map —
+``pending`` (correlations not yet complete nor flagged) for the timeout
+sweep and ``retained`` (completed correlations in completion order, so
+heights are non-decreasing and the expired prefix pops off the front) for
+retention pruning.  Steady-state ticks over a mostly-verified chain are
+O(pending + pruned), not O(all correlations ever recorded) — the same
+indexing move the Analyser's sweep made in PR 3.
 
 Alerts are contract *events*: they replicate with the chain, reach every
 Logging Interface, and cannot be suppressed by any single tenant.
@@ -38,6 +65,10 @@ CONTRACT_NAME = "drams-monitor"
 EVENT_ALERT = "Alert"
 EVENT_VERIFIED = "AccessVerified"
 EVENT_LOG_RECORDED = "LogRecorded"
+#: One per churn-classified conflicting claim — deliberately NOT deduped
+#: (unlike the ``policy-churn`` alert), so the Analyser audits every
+#: claim, including ones arriving after the first alert already fired.
+EVENT_CHURN_REPORT = "PolicyChurnReported"
 
 
 class MonitorContract(Contract):
@@ -47,6 +78,11 @@ class MonitorContract(Contract):
     # Every method validates its arguments and raises before touching
     # state, so the engine may run invocations in place (fast path).
     checked_invoke = True
+
+    #: Conflicting decision reports kept per record for the Analyser's
+    #: churn audit; a cap so a flooding reporter cannot bloat the
+    #: replicated state (the first conflict already raised the alert).
+    MAX_CHURN_REPORTS = 8
 
     def __init__(self, timeout_blocks: int = 6, retention_blocks: int = 50,
                  store_ciphertexts: bool = True,
@@ -69,6 +105,11 @@ class MonitorContract(Contract):
     def initial_state(self) -> dict[str, Any]:
         return {
             "records": {},
+            # Sweep indices (see module docstring): correlation id → True
+            # for records the timeout sweep must still watch, correlation
+            # id → completed height for records awaiting retention pruning.
+            "pending": {},
+            "retained": {},
             "stats": {"logs": 0, "alerts": 0, "verified": 0, "pruned": 0},
         }
 
@@ -83,6 +124,23 @@ class MonitorContract(Contract):
         if method == "report_violation":
             return self._report_violation(state, args, ctx, emit)
         raise ContractError(f"unknown method: {method!r}")
+
+    # -- record bookkeeping ---------------------------------------------------------
+
+    @staticmethod
+    def _ensure_record(state: dict, corr_id: str, ctx: ContractContext) -> dict:
+        """Fetch-or-create the correlation record, indexing new ones."""
+        record = state["records"].get(corr_id)
+        if record is None:
+            record = {
+                "first_height": ctx.block_height,
+                "entries": {},
+                "alerted": {},
+                "complete": False,
+            }
+            state["records"][corr_id] = record
+            state["pending"][corr_id] = True
+        return record
 
     # -- log recording and incremental matching ----------------------------------
 
@@ -99,17 +157,53 @@ class MonitorContract(Contract):
         if entry_type not in EntryType.ALL:
             raise ContractError(f"unknown entry type: {entry_type!r}")
 
-        record = state["records"].setdefault(corr_id, {
-            "first_height": ctx.block_height,
-            "entries": {},
-            "alerted": {},
-            "complete": False,
-        })
+        record = self._ensure_record(state, corr_id, ctx)
         entries = record["entries"]
         existing = entries.get(entry_type)
+        incoming_fp = args.get("policy_fingerprint", "")
         if existing is not None:
             if existing["payload_hash"] == payload_hash:
                 return {"ok": True, "duplicate": True}
+            report = {
+                "entry_type": entry_type,
+                "payload_hash": payload_hash,
+                "component": component,
+                "policy_fingerprint": incoming_fp,
+                "policy_version": args.get("policy_version", 0),
+                "height": ctx.block_height,
+            }
+            if "ciphertext" in args:
+                report["ciphertext"] = args["ciphertext"]
+            if self._churn_pair(existing, report):
+                # Two declared policy versions, both auditable: possibly
+                # honest replicas racing a publish.  The conflicting
+                # report is kept (with its ciphertext) and announced per
+                # claim, so every claim gets audited.
+                reports = record.setdefault("churn_reports", [])
+                if len(reports) >= self.MAX_CHURN_REPORTS:
+                    # A flood of conflicting reports is no longer churn.
+                    self._alert(state, record, emit, ctx, "equivocation",
+                                corr_id, {
+                                    "entry_type": entry_type,
+                                    "reason": "churn-report-overflow",
+                                    "reports": len(reports),
+                                })
+                    return {"ok": True, "equivocation": True}
+                reports.append(report)
+                emit(EVENT_CHURN_REPORT, {
+                    "correlation_id": corr_id,
+                    "entry_type": entry_type,
+                })
+                self._alert(state, record, emit, ctx, "policy-churn", corr_id, {
+                    "entry_type": entry_type,
+                    "first_fingerprint": existing.get("policy_fingerprint", ""),
+                    "second_fingerprint": incoming_fp,
+                    "first_version": existing.get("policy_version", 0),
+                    "second_version": args.get("policy_version", 0),
+                    "first_reporter": existing["component"],
+                    "second_reporter": component,
+                })
+                return {"ok": True, "policy_churn": True}
             self._alert(state, record, emit, ctx, "equivocation", corr_id, {
                 "entry_type": entry_type,
                 "first_hash": existing["payload_hash"],
@@ -125,6 +219,11 @@ class MonitorContract(Contract):
             "component": component,
             "height": ctx.block_height,
         }
+        if "observed_at" in args:
+            entry["observed_at"] = args["observed_at"]
+        if incoming_fp:
+            entry["policy_fingerprint"] = incoming_fp
+            entry["policy_version"] = args.get("policy_version", 0)
         if self.store_ciphertexts and "ciphertext" in args:
             entry["ciphertext"] = args["ciphertext"]
         entries[entry_type] = entry
@@ -151,6 +250,33 @@ class MonitorContract(Contract):
             return
         if entries[first]["payload_hash"] == entries[second]["payload_hash"]:
             return
+        if self._churn_pair(entries[first], entries[second]):
+            # The two sides of the leg declare different policy versions:
+            # possibly the PEP enforced one replica's answer while the
+            # recorded PDP-out came from another — failover racing a
+            # publish.  Both entries are on-chain with their ciphertexts
+            # (churn is never taken on faith without them), so the
+            # Analyser audits the claim (see module docstring).
+            self._alert(state, record, emit, ctx, "policy-churn", corr_id, {
+                "leg": [first, second],
+                f"{first}-fingerprint": entries[first]["policy_fingerprint"],
+                f"{second}-fingerprint": entries[second]["policy_fingerprint"],
+                f"{first}-component": entries[first]["component"],
+                f"{second}-component": entries[second]["component"],
+            })
+            # Announce the claim pair for audit exactly once — NOT gated
+            # on the alert (a previous conflict may have consumed the
+            # record's one policy-churn alert); leg entries are immutable
+            # once both are recorded, so one audit suffices.
+            announced = record.setdefault("churn_announced", {})
+            leg_key = f"{first}:{second}"
+            if leg_key not in announced:
+                announced[leg_key] = True
+                emit(EVENT_CHURN_REPORT, {
+                    "correlation_id": corr_id,
+                    "entry_type": second,
+                })
+            return
         self._alert(state, record, emit, ctx, alert_type, corr_id, {
             "leg": [first, second],
             f"{first}-hash": entries[first]["payload_hash"],
@@ -158,6 +284,25 @@ class MonitorContract(Contract):
             f"{first}-component": entries[first]["component"],
             f"{second}-component": entries[second]["component"],
         })
+
+    def _churn_pair(self, first: dict, second: dict) -> bool:
+        """Do two conflicting decision reports qualify for the churn downgrade?
+
+        Both sides must declare a policy stamp, the declared *versions*
+        must differ (same-version conflicts are impossible honestly — the
+        fingerprints may legitimately match, e.g. a rollback republishing
+        an earlier document), and both must be auditable: ciphertext
+        storage enabled and a ciphertext present on each side, or the
+        Analyser could never verify the claims and the downgrade from
+        equivocation/mismatch would be free for an attacker.
+        """
+        if not self.store_ciphertexts:
+            return False
+        if "ciphertext" not in first or "ciphertext" not in second:
+            return False
+        if not first.get("policy_fingerprint") or not second.get("policy_fingerprint"):
+            return False
+        return first.get("policy_version", 0) != second.get("policy_version", 0)
 
     def _leg_consistent(self, entries: dict, leg: tuple[str, str]) -> bool:
         first, second = leg
@@ -177,6 +322,10 @@ class MonitorContract(Contract):
         if request_ok and decision_ok:
             record["complete"] = True
             record["completed_height"] = ctx.block_height
+            state["pending"].pop(corr_id, None)
+            # Completion order follows block height, so the retained index
+            # stays sorted by completed height and pruning pops its front.
+            state["retained"][corr_id] = ctx.block_height
             state["stats"]["verified"] += 1
             emit(EVENT_VERIFIED, {"correlation_id": corr_id,
                                   "height": ctx.block_height})
@@ -188,32 +337,37 @@ class MonitorContract(Contract):
         flagged = 0
         pruned = 0
         height = ctx.block_height
-        for corr_id, record in list(state["records"].items()):
-            if record["complete"]:
-                completed = record.get("completed_height", record["first_height"])
-                if (self.retention_blocks > 0
-                        and height - completed > self.retention_blocks):
-                    del state["records"][corr_id]
-                    pruned += 1
+        pending = state["pending"]
+        scanned = len(pending)
+        for corr_id in list(pending):
+            record = state["records"][corr_id]
+            if height - record["first_height"] < self.timeout_blocks:
                 continue
-            if "missing-log" in record["alerted"]:
-                continue
-            if height - record["first_height"] >= self.timeout_blocks:
-                missing = [entry_type for entry_type in self.expected_entries
-                           if entry_type not in record["entries"]]
-                if missing:
-                    self._alert(state, record, emit, ctx, "missing-log", corr_id, {
-                        "missing": missing,
-                        "present": sorted(record["entries"]),
-                        "age_blocks": height - record["first_height"],
-                    })
-                    flagged += 1
-                else:
-                    # All entries present but a leg mismatched earlier; the
-                    # mismatch alert already fired — nothing more to flag.
-                    record["alerted"]["missing-log"] = True
+            missing = [entry_type for entry_type in self.expected_entries
+                       if entry_type not in record["entries"]]
+            if missing:
+                self._alert(state, record, emit, ctx, "missing-log", corr_id, {
+                    "missing": missing,
+                    "present": sorted(record["entries"]),
+                    "age_blocks": height - record["first_height"],
+                })
+                flagged += 1
+            else:
+                # All entries present but a leg mismatched earlier; the
+                # mismatch alert already fired — nothing more to flag.
+                record["alerted"]["missing-log"] = True
+            pending.pop(corr_id, None)
+        if self.retention_blocks > 0:
+            retained = state["retained"]
+            for corr_id, completed in list(retained.items()):
+                if height - completed <= self.retention_blocks:
+                    break  # completion order: the rest is younger still
+                del state["records"][corr_id]
+                del retained[corr_id]
+                pruned += 1
         state["stats"]["pruned"] += pruned
-        return {"ok": True, "flagged": flagged, "pruned": pruned}
+        return {"ok": True, "flagged": flagged, "pruned": pruned,
+                "scanned": scanned}
 
     # -- analyser-reported violations ---------------------------------------------
 
@@ -225,12 +379,7 @@ class MonitorContract(Contract):
             details = dict(args.get("details", {}))
         except KeyError as exc:
             raise ContractError(f"report_violation missing argument: {exc}") from exc
-        record = state["records"].setdefault(corr_id, {
-            "first_height": ctx.block_height,
-            "entries": {},
-            "alerted": {},
-            "complete": False,
-        })
+        record = self._ensure_record(state, corr_id, ctx)
         details.setdefault("reported_by", ctx.sender)
         self._alert(state, record, emit, ctx, kind, corr_id, details)
         return {"ok": True}
@@ -238,9 +387,10 @@ class MonitorContract(Contract):
     # -- alert bookkeeping ----------------------------------------------------------
 
     def _alert(self, state: dict, record: dict, emit, ctx: ContractContext,
-               alert_type: str, corr_id: str, details: dict) -> None:
+               alert_type: str, corr_id: str, details: dict) -> bool:
+        """Emit an alert once per (record, type); returns whether it fired."""
         if alert_type in record["alerted"]:
-            return
+            return False
         record["alerted"][alert_type] = True
         state["stats"]["alerts"] += 1
         emit(EVENT_ALERT, {
@@ -249,3 +399,4 @@ class MonitorContract(Contract):
             "details": details,
             "height": ctx.block_height,
         })
+        return True

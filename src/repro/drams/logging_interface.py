@@ -105,19 +105,28 @@ class LoggingInterface(Host):
         ciphertext = key.encrypt(payload_bytes,
                                  nonce=key.derive_nonce(payload_bytes))
         self._seq += 1
+        args = {
+            "correlation_id": entry.correlation_id,
+            "entry_type": entry.entry_type,
+            "payload_hash": entry.payload_hash(),
+            "tenant": entry.tenant,
+            "component": entry.component,
+            "ciphertext": ciphertext.to_dict(),
+            "observed_at": entry.observed_at,
+        }
+        # Decision entries carry a policy provenance stamp; surface it in
+        # the transaction so the contract can classify a conflicting
+        # report as policy churn (skewed PRP replicas) vs equivocation
+        # without decrypting anything.
+        fingerprint = entry.payload.get("policy_fingerprint", "")
+        if fingerprint:
+            args["policy_fingerprint"] = fingerprint
+            args["policy_version"] = entry.payload.get("policy_version", 0)
         tx = Transaction(
             sender=self.address,
             contract=CONTRACT_NAME,
             method="record_log",
-            args={
-                "correlation_id": entry.correlation_id,
-                "entry_type": entry.entry_type,
-                "payload_hash": entry.payload_hash(),
-                "tenant": entry.tenant,
-                "component": entry.component,
-                "ciphertext": ciphertext.to_dict(),
-                "observed_at": entry.observed_at,
-            },
+            args=args,
             seq=self._seq,
         ).sign(self.keystore.signing_key)
         if not self.node.submit_transaction(tx):

@@ -9,7 +9,9 @@ Wires the full Figure 1 stack over a federation:
 - the monitor smart contract deployed chain-wide;
 - the Analyser with its own blockchain node, registered in the
   infrastructure tenant but in a separate section from the access control
-  components (its node gives it an independent view of the chain);
+  components (its node gives it an independent view of the chain, and its
+  own PRP replica — assigned by the policy distribution plane — gives it
+  an independent view of the policy history);
 - a federation-wide :class:`~repro.drams.alerts.AlertBus` fed by every LI;
 - periodic ``tick`` transactions driving the contract's timeout sweep, and
   optional periodic TPM attestation of the Logging Interfaces.
@@ -39,6 +41,7 @@ from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
 from repro.accesscontrol.plane import DecisionPlane, as_plane
 from repro.accesscontrol.prp import PolicyRetrievalPoint
+from repro.policydist.plane import PolicyDistributionPlane, as_policy_plane
 
 
 @dataclass
@@ -61,6 +64,15 @@ class DramsConfig:
     attestation_interval: float = 0.0  # seconds; 0 disables
     key_entropy: bytes = b"drams-federation-key"
     store_ciphertexts: bool = True
+    # Policy provenance audit (see repro.policydist): honest replica skew
+    # up to this many versions behind the policy in force is classified as
+    # churn; anything further is a policy-violation alert.
+    policy_staleness_bound: int = 1
+    # How long (simulated seconds) the Analyser waits for its own PRP
+    # replica to catch up before an unknown decision fingerprint is
+    # reported as a tampered policy.  Must cover the distribution plane's
+    # propagation delay plus one anti-entropy round.
+    unknown_policy_grace: float = 5.0
     # Ablation knobs (see DESIGN.md section 5); keep defaults in production.
     expected_entries: tuple = EntryType.ALL
     enable_leg_matching: bool = True
@@ -70,17 +82,29 @@ class DramsConfig:
             raise ValidationError("timeout_blocks must be >= 1")
         if self.tick_interval <= 0:
             raise ValidationError("tick_interval must be positive")
+        if self.policy_staleness_bound < 0:
+            raise ValidationError("policy_staleness_bound must be >= 0")
+        if self.unknown_policy_grace < 0:
+            raise ValidationError("unknown_policy_grace must be >= 0")
 
 
 class DramsSystem:
     """The deployed monitoring system for one federation."""
 
-    def __init__(self, federation: Federation, prp: PolicyRetrievalPoint,
+    def __init__(self, federation: Federation,
+                 prp: "PolicyDistributionPlane | PolicyRetrievalPoint",
                  plane: "DecisionPlane | PdpService",
                  peps: dict[str, PolicyEnforcementPoint],
                  config: Optional[DramsConfig] = None) -> None:
         self.federation = federation
-        self.prp = prp
+        # The policy distribution plane decides how policy reaches each
+        # consumer; a bare PolicyRetrievalPoint (the pre-policydist calling
+        # convention) is adopted into a single shared store.  ``self.prp``
+        # stays the authority store for backwards compatibility; the
+        # Analyser reads from its *own* replica so a tampered PDP-side
+        # replica can never alter the auditor's view.
+        self.policy_plane = as_policy_plane(prp).deploy(federation)
+        self.prp = self.policy_plane.authority
         # The decision plane decides how many PDP evaluators exist; a bare
         # PdpService (the pre-plane calling convention) is adopted into a
         # single-evaluator plane.
@@ -176,7 +200,9 @@ class DramsSystem:
         self.analyser = Analyser(
             self.federation.network, analyser_address, analyser_node,
             signing_key=analyser_key, federation_key=self.federation_key,
-            prp=self.prp)
+            prp=self.policy_plane.retrieval_point_for("analyser"),
+            policy_staleness_bound=self.config.policy_staleness_bound,
+            unknown_policy_grace=self.config.unknown_policy_grace)
         infra.register_host(analyser_address)
         self.nodes["__analyser__"] = analyser_node
 
@@ -207,6 +233,9 @@ class DramsSystem:
             return
         self._started = True
         sim = self.federation.sim
+        # Re-arm the policy plane's anti-entropy after a stop() (no-op on
+        # first start — the plane runs from deployment).
+        self.policy_plane.start()
         for node in self.nodes.values():
             node.start()
         infra_li = self.interfaces[self.federation.infrastructure_tenant.name]
@@ -229,6 +258,9 @@ class DramsSystem:
         self._stoppers.clear()
         for node in self.nodes.values():
             node.stop()
+        # The policy plane's anti-entropy timers are periodic activity of
+        # the monitored deployment too; a stopped system must go quiet.
+        self.policy_plane.stop()
         self._started = False
 
     # -- attestation ------------------------------------------------------------------
@@ -282,4 +314,10 @@ class DramsSystem:
                                for t in AlertType if self.alerts.count(t)},
             "logs_submitted": sum(li.logs_submitted for li in self.interfaces.values()),
             "analyser_checked": self.analyser.checked if self.analyser else 0,
+            "policy_audit": {
+                "churn_observed": self.analyser.churn_observed if self.analyser else 0,
+                "policy_violations": (self.analyser.policy_violations_reported
+                                      if self.analyser else 0),
+                "distribution": self.policy_plane.describe(),
+            },
         }

@@ -11,6 +11,15 @@ any :class:`~repro.accesscontrol.plane.DecisionPlane` and defaults to
 evaluator, bit-identical to the pre-plane wiring).  Pass
 ``ShardedPdpPlane(shards=4)`` to deploy a consistent-hashed PDP pool
 instead; PEPs, DRAMS probes and the baselines all follow the plane.
+
+So is the policy distribution plane: ``build(policy_plane=...)`` accepts
+any :class:`~repro.policydist.plane.PolicyDistributionPlane` and defaults
+to :class:`~repro.policydist.plane.SingleStorePlane` (one shared PRP,
+bit-identical to the hard-wired store).  Pass
+``ReplicatedPrpPlane(propagation_delay=...)`` to give every PDP shard and
+the Analyser its own propagation-fed replica; the PAP keeps publishing
+against the plane's authority store, and ``publish_policy`` stamps
+mid-run publishes with the current simulated time.
 """
 
 from __future__ import annotations
@@ -27,6 +36,11 @@ from repro.common.errors import ValidationError
 from repro.common.ids import short_hash
 from repro.drams.system import DramsConfig, DramsSystem
 from repro.federation.federation import Federation, FederationConfig
+from repro.policydist.plane import (
+    PolicyDistributionPlane,
+    SingleStorePlane,
+    as_policy_plane,
+)
 from repro.workload.generator import GeneratedRequest, RequestGenerator
 from repro.workload.scenarios import Scenario
 
@@ -42,6 +56,7 @@ class MonitoredFederation:
     plane: DecisionPlane
     peps: dict[str, PolicyEnforcementPoint]
     generator: RequestGenerator
+    policy_plane: PolicyDistributionPlane = field(default_factory=SingleStorePlane)
     drams: Optional[DramsSystem] = None
     outcomes: list[EnforcedAccess] = field(default_factory=list)
     issued: int = 0
@@ -58,26 +73,31 @@ class MonitoredFederation:
         with_drams: bool = True,
         federation_config: Optional[FederationConfig] = None,
         plane: Optional[DecisionPlane] = None,
+        policy_plane: "Optional[PolicyDistributionPlane | PolicyRetrievalPoint]" = None,
     ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
         ``plane`` configures the decision plane topology (default: one
-        PDP evaluator).  ``with_drams=False`` yields the unmonitored
-        system (the E7 overhead experiment's control arm and the baseline
-        experiments' substrate).
+        PDP evaluator); ``policy_plane`` configures how policy reaches it
+        (default: one shared store).  ``with_drams=False`` yields the
+        unmonitored system (the E7 overhead experiment's control arm and
+        the baseline experiments' substrate).
         """
         fed_config = federation_config or FederationConfig(
             name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed
         )
         federation = Federation(fed_config)
 
-        prp = PolicyRetrievalPoint()
+        policy_plane = as_policy_plane(
+            policy_plane if policy_plane is not None else SingleStorePlane()
+        ).deploy(federation)
+        prp = policy_plane.authority
         infra_name = federation.infrastructure_tenant.name
         pap = PolicyAdministrationPoint(prp, administrator=f"pap@{infra_name}")
         pap.publish(scenario.policy_document)
 
         plane = plane if plane is not None else SinglePdpPlane()
-        plane.deploy(federation, prp)
+        plane.deploy(federation, policy_plane)
 
         peps: dict[str, PolicyEnforcementPoint] = {}
         for tenant in federation.member_tenants:
@@ -90,7 +110,8 @@ class MonitoredFederation:
         generator = RequestGenerator(scenario.workload, federation.rng.fork("scenario-workload"))
         drams = None
         if with_drams:
-            drams = DramsSystem(federation, prp, plane, peps, drams_config or DramsConfig())
+            drams = DramsSystem(federation, policy_plane, plane, peps,
+                                drams_config or DramsConfig())
         else:
             federation.finalize_topology()
         return cls(
@@ -101,6 +122,7 @@ class MonitoredFederation:
             plane=plane,
             peps=peps,
             generator=generator,
+            policy_plane=policy_plane,
             drams=drams,
         )
 
@@ -123,6 +145,24 @@ class MonitoredFederation:
     def start(self) -> None:
         if self.drams is not None:
             self.drams.start()
+
+    # -- policy churn ----------------------------------------------------------------
+
+    def publish_policy(self, document: dict, at: Optional[float] = None):
+        """Publish a new policy version through the PAP.
+
+        With ``at=None`` the publish happens immediately, stamped with the
+        current simulated time; otherwise it is scheduled for simulated
+        time ``at`` (mid-traffic churn).  Either way it propagates through
+        the deployed policy distribution plane.
+        """
+        if at is None:
+            return self.pap.publish(document, published_at=self.sim.now)
+        return self.sim.schedule_at(
+            at,
+            lambda: self.pap.publish(document, published_at=self.sim.now),
+            label="policy-publish",
+        )
 
     def run(self, until: Optional[float] = None) -> int:
         return self.sim.run(until=until)

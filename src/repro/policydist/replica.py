@@ -1,0 +1,123 @@
+"""A propagation-fed PRP replica.
+
+One :class:`PrpReplica` sits next to each policy consumer (a PDP shard,
+the Analyser) when the federation deploys a
+:class:`~repro.policydist.plane.ReplicatedPrpPlane`.  It is read-only from
+the consumer's side — local ``publish`` is rejected, versions arrive as
+*records* (:meth:`~repro.accesscontrol.prp.PolicyVersion.to_record`)
+delivered by the distribution plane — and append-only like its base class,
+so everything downstream (decision caches bound via ``on_publish``, the
+Analyser's version history) works unchanged against a replica.
+
+Delivery is tolerant of the federation network's realities:
+
+- **out-of-order** records (propagation jitter reorders publishes) are
+  staged until the gap closes, so listeners always observe versions in
+  order;
+- **duplicate** records (anti-entropy re-delivers what the direct publish
+  already brought) are ignored;
+- **tampered** records are rejected: the fingerprint travels with the
+  document, and a record whose document does not hash back to its claimed
+  fingerprint raises — altering a policy in flight is detectable, which
+  pushes the attacker to compromise the replica itself (the
+  ``TamperedPrpReplicaAttack`` threat, caught downstream by the Analyser's
+  fingerprint audit).
+
+``frozen`` is the threat-model hook for a *suppressed* replica: a
+compromised replica that silently stops applying new versions keeps
+serving the superseded policy (the ``StalePolicyReplayAttack``).  The
+monitor catches this through version-stamped decisions, not through the
+replica itself.
+"""
+
+from __future__ import annotations
+
+from repro.accesscontrol.prp import PolicyRetrievalPoint, PolicyVersion
+from repro.common.errors import ValidationError
+
+
+class PrpReplica(PolicyRetrievalPoint):
+    """Read-only PRP view, fed by the policy distribution plane."""
+
+    def __init__(self, origin_id: str, consumer: str = "") -> None:
+        super().__init__()
+        self.origin_id = origin_id
+        self.consumer = consumer
+        #: Threat hook: a frozen replica silently drops every delivery and
+        #: keeps serving its last-applied version (stale-policy replay).
+        self.frozen = False
+        self.records_applied = 0
+        self.records_staged = 0
+        self.records_duplicate = 0
+        self._staged: dict[int, PolicyVersion] = {}
+
+    # -- consumer side ----------------------------------------------------------
+
+    def publish(self, document: dict, publisher: str, published_at: float = 0.0) -> PolicyVersion:
+        raise ValidationError(
+            f"PRP replica {self.consumer or self.origin_id!r} is read-only; "
+            "publish through the PAP against the distribution plane's "
+            "authority store"
+        )
+
+    def version_vector(self) -> dict[str, int]:
+        """What this replica has applied, keyed by origin store.
+
+        With a single authoritative publisher the vector degenerates to
+        one counter; anti-entropy pulls send it so the origin can compute
+        exactly the missing suffix.
+        """
+        return {self.origin_id: self.version_count()}
+
+    # -- distribution side --------------------------------------------------------
+
+    def apply_record(self, record: dict) -> bool:
+        """Install one delivered version record; returns True if the head moved.
+
+        Validates the fingerprint, stages out-of-order deliveries and
+        drains the stage in version order, so ``on_publish`` listeners
+        (decision-cache flushes, the Analyser's history) observe the same
+        ordered sequence a single store would have produced.
+        """
+        if self.frozen:
+            return False
+        try:
+            number = int(record["version"])
+            document = record["document"]
+            claimed = record["fingerprint"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValidationError(f"malformed policy record: {exc}") from exc
+        if number <= self.version_count():
+            self.records_duplicate += 1
+            return False
+        version = PolicyVersion(
+            version=number,
+            document=dict(document),
+            published_at=float(record.get("published_at", 0.0)),
+            publisher=str(record.get("publisher", "")),
+        )
+        if version.fingerprint != claimed:
+            raise ValidationError(
+                f"policy record for version {number} failed its fingerprint "
+                f"check (claimed {claimed[:12]}, computed "
+                f"{version.fingerprint[:12]}): document altered in flight"
+            )
+        self._staged[number] = version
+        self.records_staged += 1
+        moved = False
+        while self.version_count() + 1 in self._staged:
+            self._install(self._staged.pop(self.version_count() + 1))
+            self.records_applied += 1
+            moved = True
+        return moved
+
+    def stats(self) -> dict:
+        return {
+            "consumer": self.consumer,
+            "versions": self.version_count(),
+            "head_fingerprint": (self.current().fingerprint if self.version_count() else ""),
+            "applied": self.records_applied,
+            "staged_waiting": len(self._staged),
+            "duplicates": self.records_duplicate,
+            "frozen": self.frozen,
+        }

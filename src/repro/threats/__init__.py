@@ -19,6 +19,8 @@ from repro.threats.attacks import (
     ProbeSuppressionAttack,
     LogTamperAttack,
     ReplayAttack,
+    StalePolicyReplayAttack,
+    TamperedPrpReplicaAttack,
     ATTACK_CATALOGUE,
 )
 from repro.threats.adversary import Adversary, AttackRecord
@@ -38,6 +40,8 @@ __all__ = [
     "ProbeSuppressionAttack",
     "LogTamperAttack",
     "ReplayAttack",
+    "StalePolicyReplayAttack",
+    "TamperedPrpReplicaAttack",
     "ATTACK_CATALOGUE",
     "Adversary",
     "AttackRecord",

@@ -20,7 +20,17 @@ LI falsifies logs (monitoring attack) LogTamperAttack             DECISION_MISMA
                                       (+ TPM deployments)          / MISSING_LOG
                                                                    + ATTESTATION_FAILURE
 request replayed under a known id     ReplayAttack                EQUIVOCATION
+PRP replica serves stale policy       StalePolicyReplayAttack     POLICY_VIOLATION
+PRP replica serves tampered policy    TamperedPrpReplicaAttack    POLICY_VIOLATION
 ====================================  ==========================  =====================
+
+The two PRP-replica attacks extend the catalogue to the policy
+distribution plane and require a replicated one
+(:class:`~repro.policydist.plane.ReplicatedPrpPlane`): they compromise
+*one consumer's replica*, and detection rests on the Analyser holding an
+independent replica of the policy history.  Against a shared single store
+they would silently rewrite the auditor's own view, so injection refuses
+that topology instead of faking a detection story.
 """
 
 from __future__ import annotations
@@ -34,6 +44,8 @@ from repro.drams.alerts import AlertType
 from repro.drams.logs import EntryType, LogEntry
 from repro.drams.system import DramsSystem
 from repro.accesscontrol.messages import AccessDecision, AccessRequest
+from repro.accesscontrol.prp import PolicyVersion
+from repro.policydist.replica import PrpReplica
 from repro.xacml.parser import policy_from_dict
 from repro.xacml.pdp import PolicyDecisionPoint
 
@@ -367,6 +379,122 @@ class ReplayAttack(Attack):
         self.active = False
 
 
+class _PrpReplicaAttack(Attack):
+    """Shared plumbing for attacks on one PDP shard's PRP replica."""
+
+    def __init__(self, shard: int = 0) -> None:
+        super().__init__()
+        self.shard = shard
+        self._tracker = None
+
+    def _shard_replica(self, drams: DramsSystem) -> PrpReplica:
+        try:
+            service = drams.pdp_services[self.shard]
+        except IndexError:
+            raise ValidationError(
+                f"no PDP shard {self.shard}; plane has "
+                f"{len(drams.pdp_services)} replicas") from None
+        replica = service.prp
+        if not isinstance(replica, PrpReplica):
+            raise ValidationError(
+                f"{self.name} needs a replicated policy distribution plane "
+                "(ReplicatedPrpPlane): with a shared single store the "
+                "compromise would rewrite the Analyser's own policy view")
+        return replica
+
+    def _track_shard_requests(self, drams: DramsSystem) -> None:
+        """Every request the compromised shard evaluates is attributable."""
+        service = drams.pdp_services[self.shard]
+
+        def track(request: AccessRequest) -> None:
+            self.affected_correlations.append(request.correlation())
+
+        service.on_request_received.append(track)
+        self._tracker = track
+
+    def _untrack(self, drams: DramsSystem) -> None:
+        service = drams.pdp_services[self.shard]
+        if self._tracker in service.on_request_received:
+            service.on_request_received.remove(self._tracker)
+        self._tracker = None
+
+
+class StalePolicyReplayAttack(_PrpReplicaAttack):
+    """A compromised PRP replica freezes and keeps serving a superseded policy.
+
+    The shard's decisions stay internally consistent (both hash legs
+    agree) and their provenance stamp names a *genuine* historical
+    version, so nothing mismatches on-chain.  Once the federation has
+    published more than ``policy_staleness_bound`` newer versions, the
+    Analyser's skew audit flags every further decision from the frozen
+    replica.  Detection therefore requires policy churn after injection —
+    the E12 experiment publishes the scenario's policy variants mid-run.
+    """
+
+    name = "stale-policy-replay"
+    expected_alerts = (AlertType.POLICY_VIOLATION,)
+
+    def inject(self, drams: DramsSystem) -> None:
+        replica = self._shard_replica(drams)
+        replica.frozen = True
+        self._track_shard_requests(drams)
+        self._mark_injected(drams)
+
+    def lift(self, drams: DramsSystem) -> None:
+        replica = self._shard_replica(drams)
+        replica.frozen = False  # anti-entropy re-converges the replica
+        self._untrack(drams)
+        self.active = False
+
+
+class TamperedPrpReplicaAttack(_PrpReplicaAttack):
+    """A compromised PRP replica serves a tampered policy document.
+
+    The attacker rewrites the replica's head version in place (e.g. a
+    permit-all document), so the shard evaluates — and honestly stamps —
+    a policy whose fingerprint appears in no publisher's history.  The
+    Analyser's provenance audit reports ``policy-violation`` with reason
+    ``unknown-policy-fingerprint`` once its grace window for replica lag
+    expires; decisions that differ under the legitimate policy would
+    additionally surface as ``incorrect-decision`` re-derivations.
+    """
+
+    name = "tampered-prp-replica"
+    expected_alerts = (AlertType.POLICY_VIOLATION, AlertType.INCORRECT_DECISION)
+
+    def __init__(self, rogue_document: dict, shard: int = 0) -> None:
+        super().__init__(shard=shard)
+        policy_from_dict(rogue_document)  # must parse, or the shard crashes
+        self.rogue_document = rogue_document
+        self._original: Optional[PolicyVersion] = None
+
+    def inject(self, drams: DramsSystem) -> None:
+        replica = self._shard_replica(drams)
+        head = replica.current()
+        self._original = head
+        # In-place head swap: version number and provenance metadata are
+        # kept, but the fingerprint (a content hash) necessarily changes —
+        # the attacker cannot forge a colliding document.  The shard's
+        # compiled-PDP and decision caches key on the fingerprint, so the
+        # rogue policy takes effect on the next evaluation.
+        replica._versions[-1] = PolicyVersion(
+            version=head.version,
+            document=self.rogue_document,
+            published_at=head.published_at,
+            publisher=head.publisher,
+        )
+        self._track_shard_requests(drams)
+        self._mark_injected(drams)
+
+    def lift(self, drams: DramsSystem) -> None:
+        replica = self._shard_replica(drams)
+        if self._original is not None:
+            replica._versions[-1] = self._original
+            self._original = None
+        self._untrack(drams)
+        self.active = False
+
+
 #: Name → constructor hints for the detection experiments.
 ATTACK_CATALOGUE = {
     RequestTamperAttack.name: RequestTamperAttack,
@@ -377,4 +505,6 @@ ATTACK_CATALOGUE = {
     ProbeSuppressionAttack.name: ProbeSuppressionAttack,
     LogTamperAttack.name: LogTamperAttack,
     ReplayAttack.name: ReplayAttack,
+    StalePolicyReplayAttack.name: StalePolicyReplayAttack,
+    TamperedPrpReplicaAttack.name: TamperedPrpReplicaAttack,
 }

@@ -6,11 +6,11 @@ sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — six concrete federation scenarios
+- :mod:`repro.workload.scenarios` — seven concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
   cross-cloud delegation; audit-burst compliance logging; federation-scale
-  service sharing), each with its policy set, population and expected
-  decision mix.
+  service sharing; mid-traffic policy churn), each with its policy set,
+  population and expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -24,6 +24,7 @@ from repro.workload.scenarios import (
     healthcare_scenario,
     iot_edge_scenario,
     ministry_scenario,
+    policy_churn_scenario,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "healthcare_scenario",
     "iot_edge_scenario",
     "ministry_scenario",
+    "policy_churn_scenario",
 ]

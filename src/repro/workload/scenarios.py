@@ -35,6 +35,16 @@ A sixth scenario stresses the *decision plane* (E11):
   service rate, so one PDP saturates and throughput only scales by
   sharding the decision plane (``ShardedPdpPlane``).
 
+A seventh scenario stresses the *policy distribution plane* (E12):
+
+- :func:`policy_churn_scenario` — a case-handling federation whose policy
+  is re-published mid-traffic: contractor access toggles and the retention
+  obligation is re-stamped every generation, so successive versions have
+  different fingerprints *and* different decisions.  The scenario packages
+  the follow-up generations as ``policy_variants``; the harness publishes
+  them while requests are in flight, which makes PRP replica skew (and the
+  policy-churn vs policy-violation alert taxonomy) observable.
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -72,6 +82,9 @@ class Scenario:
     workload: WorkloadConfig
     domain: AttributeDomain
     description: str = ""
+    #: Follow-up policy generations to publish mid-traffic (churn-style
+    #: scenarios); empty for scenarios whose policy never changes.
+    policy_variants: tuple = ()
 
 
 def _designator(category: str, attribute_id: str,
@@ -682,6 +695,100 @@ def federation_scale_scenario() -> Scenario:
     )
 
 
+#: Roles of the case-handling federation whose policy rotates mid-run.
+_CHURN_ROLES = ("caseworker", "contractor", "auditor")
+
+
+def churn_policy_document(generation: int) -> dict:
+    """Generation ``generation`` of the rotating case-handling policy.
+
+    The stable spine (caseworkers read everywhere, write at home; auditors
+    read; default deny) never changes, but every generation re-stamps the
+    retention obligation — so each version has a distinct fingerprint —
+    and contractor read access toggles with generation parity, so
+    successive versions disagree on real requests.  A replica one version
+    behind therefore produces decisions that are *wrong under the head but
+    right under its own version*: exactly the honest-churn case the
+    version-stamped monitoring pipeline must not mistake for tampering.
+    """
+    caseworker = Target.single("string-equal", "caseworker", "subject", "role")
+    contractor = Target.single("string-equal", "contractor", "subject", "role")
+    auditor = Target.single("string-equal", "auditor", "subject", "role")
+
+    rules = [
+        Rule("caseworker-read", Effect.PERMIT,
+             target=caseworker, condition=_action_is("read")),
+        Rule("caseworker-home-write", Effect.PERMIT,
+             target=caseworker,
+             condition=Apply("and", (_action_is("write"), _home_tenant()))),
+        Rule("auditor-read", Effect.PERMIT,
+             target=auditor, condition=_action_is("read")),
+    ]
+    if generation % 2 == 0:
+        rules.append(Rule("contractor-read", Effect.PERMIT,
+                          target=contractor, condition=_action_is("read")))
+    rules.append(Rule("case-default-deny", Effect.DENY))
+
+    case_policy = Policy(
+        policy_id="case-files",
+        rule_combining="first-applicable",
+        target=Target.single("string-equal", "case-file", "resource", "type"),
+        rules=rules,
+        obligations=[Obligation(f"retention-rev-{generation}", "Permit",
+                                {"policy-generation": str(generation)})],
+        description=f"Case files, policy generation {generation}: contractor "
+                    f"reads {'on' if generation % 2 == 0 else 'off'}.",
+    )
+    root = PolicySet(
+        policy_set_id="policy-churn-federation",
+        policy_combining="deny-unless-permit",
+        children=[case_policy],
+        description="Case handling under live policy churn; default deny.",
+    )
+    return policy_to_dict(root)
+
+
+def policy_churn_scenario(generations: int = 4) -> Scenario:
+    """Case-handling federation whose policy is re-published mid-traffic.
+
+    ``generations`` counts the total policy versions (the base document
+    plus ``generations - 1`` follow-up variants).  The request rate keeps
+    traffic in flight across every publish, so with a replicated PRP plane
+    some decisions are made one version behind the head — which is the
+    E12 experiment's subject, not a fault.
+    """
+    if generations < 2:
+        raise ValueError("a churn scenario needs at least two generations")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(_CHURN_ROLES))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", ["case-file"])
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=150,
+        resources=600,
+        roles=_CHURN_ROLES,
+        role_weights=(0.45, 0.35, 0.2),
+        resource_types=("case-file",),
+        actions=("read", "write"),
+        action_weights=(0.8, 0.2),
+        zipf_skew=1.1,
+        arrival_rate=25.0,
+    )
+    return Scenario(
+        name="policy-churn",
+        policy_document=churn_policy_document(0),
+        workload=workload,
+        domain=domain,
+        description="Case handling while the policy is republished "
+                    "mid-traffic; contractor access flips per generation.",
+        policy_variants=tuple(churn_policy_document(generation)
+                              for generation in range(1, generations)),
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -694,4 +801,5 @@ SCENARIO_FACTORIES = (
     delegation_scenario,
     audit_burst_scenario,
     federation_scale_scenario,
+    policy_churn_scenario,
 )

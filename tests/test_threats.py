@@ -186,4 +186,5 @@ class TestAdversaryScoring:
         assert set(ATTACK_CATALOGUE) == {
             "request-tamper", "decision-tamper", "pdp-circumvention",
             "evaluation-tamper", "policy-swap", "probe-suppression",
-            "log-tamper", "replay"}
+            "log-tamper", "replay", "stale-policy-replay",
+            "tampered-prp-replica"}
