@@ -93,6 +93,19 @@ class DecisionCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def export_entries(self) -> list[tuple[str, str, dict]]:
+        """Snapshot ``(key, fingerprint, response)`` triples, oldest first.
+
+        The elastic decision plane uses this to migrate a drained shard's
+        partitioned cache to the surviving shards; LRU order is preserved
+        so re-inserting in iteration order keeps the hottest entries
+        resident at the destination.
+        """
+        return [
+            (key, fingerprint, self._copy_response(response))
+            for key, (fingerprint, response) in self._entries.items()
+        ]
+
     @staticmethod
     def _copy_response(response: dict) -> dict:
         # Decisions flow into mutable AccessDecision payloads; hand out

@@ -84,6 +84,10 @@ class PdpService(Host):
         self.serialize_evaluations = serialize_evaluations
         self._busy_until = 0.0
         self.requests_served = 0
+        #: Evaluations accepted but not yet replied to.  The elastic
+        #: decision plane drains a shard only once this reaches zero, so
+        #: membership changes never abandon in-flight work.
+        self.pending_evaluations = 0
         self.on_request_received: list[RequestHook] = []
         self.on_decision: list[DecisionHook] = []
         self.evaluation_interceptor: Optional[EvaluationInterceptor] = None
@@ -138,6 +142,23 @@ class PdpService(Host):
     def _rule_count(self) -> int:
         return self._compiled_current()[1].rule_count
 
+    # -- load inspection ---------------------------------------------------------
+
+    def busy_seconds(self) -> float:
+        """The shard's *busy cursor*: queued work ahead of a new arrival.
+
+        Under ``serialize_evaluations`` every accepted request extends
+        ``_busy_until``, so this is exactly how long a request arriving
+        now would wait before its evaluation starts.  The queue-aware
+        decision plane routes around shards whose cursor is long instead
+        of waiting out the PEP's per-attempt timeout.  An
+        infinitely-parallel evaluator (the default model) never queues
+        and always reports 0.
+        """
+        if not self.serialize_evaluations:
+            return 0.0
+        return max(0.0, self._busy_until - self.sim.now)
+
     # -- message handling -------------------------------------------------------
 
     def receive(self, message: Message) -> None:
@@ -162,6 +183,7 @@ class PdpService(Host):
             start = max(self.sim.now, self._busy_until)
             self._busy_until = start + delay
             delay = self._busy_until - self.sim.now
+        self.pending_evaluations += 1
         self.sim.schedule(
             delay, lambda: self._evaluate_and_reply(request, message.src, keyed),
             label=f"pdp-eval:{request.request_id}")
@@ -180,6 +202,7 @@ class PdpService(Host):
     def _evaluate_and_reply(self, request: AccessRequest, reply_to: str,
                             keyed: Optional[tuple[str, str]] = None) -> None:
         self.requests_served += 1
+        self.pending_evaluations -= 1
         payload, version = self._decide(request, keyed)
         decision = AccessDecision(
             request_id=request.request_id,

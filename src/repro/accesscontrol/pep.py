@@ -9,14 +9,19 @@ data sharing).
 Routing and failover: the plane answers ``endpoints(request)`` — shard
 addresses in failover order.  The PEP sends to the first endpoint and arms
 a per-attempt timer (``request_timeout`` split evenly across the
-endpoints, so a single-evaluator plane keeps the classic whole-request
-timeout).  On a timer expiry with endpoints left it retries the *same*
-request envelope against the next shard (``failovers`` counts these);
-when the last endpoint times out the request is enforced as a timeout
-denial.  ``request_id`` is the idempotency key: a late or duplicate
-``ac_response`` for a request that has already been enforced (or already
-failed over and completed) finds no pending entry and is dropped, so a
-slow shard can never double-enforce.
+endpoints answered at submit time, so a single-evaluator plane keeps the
+classic whole-request timeout).  On a timer expiry with attempts left it
+*re-queries the plane* and retries the same request envelope against the
+first not-yet-tried endpoint (``failovers`` counts these) — re-planning
+rather than replaying the submit-time order, so a shard drained from an
+elastic plane mid-flight is skipped instead of timed out against, and a
+queue-aware plane can steer the retry around a backlog that built up
+since submit.  When no untried endpoint remains (or the attempt budget
+is spent) the request is enforced as a timeout denial.  ``request_id``
+is the idempotency key: a late or duplicate ``ac_response`` for a
+request that has already been enforced (or already failed over and
+completed) finds no pending entry and is dropped, so a slow shard can
+never double-enforce.
 
 Probe hooks (DRAMS attaches here):
 
@@ -78,8 +83,12 @@ class _PendingAttempt:
 
     request: AccessRequest
     forwarded: AccessRequest
-    endpoints: tuple[str, ...]
-    attempt: int
+    #: Shards already attempted (failover never re-tries one of these).
+    tried: tuple[str, ...]
+    #: Failover attempts remaining after the live one.
+    attempts_left: int
+    #: Timer window per attempt, fixed at submit time.
+    per_attempt: float
     callback: Optional[CompletionCallback]
     requested_at: float
     timeout_event: Event
@@ -172,20 +181,33 @@ class PolicyEnforcementPoint(Host):
         previous = self._pending.pop(request.request_id, None)
         if previous is not None:
             previous.timeout_event.cancel()
-        self._dispatch(request, forwarded, endpoints, 0, callback, self.sim.now)
+        # The attempt budget and per-attempt window freeze at submit time
+        # (so request_timeout still bounds the whole request); the actual
+        # shard for each retry is re-planned at failover time.
+        self._dispatch(
+            request,
+            forwarded,
+            endpoints[0],
+            tried=(),
+            attempts_left=len(endpoints) - 1,
+            per_attempt=self.request_timeout / len(endpoints),
+            callback=callback,
+            requested_at=self.sim.now,
+        )
         return request
 
     def _dispatch(
         self,
         request: AccessRequest,
         forwarded: AccessRequest,
-        endpoints: tuple[str, ...],
-        attempt: int,
+        endpoint: str,
+        tried: tuple[str, ...],
+        attempts_left: int,
+        per_attempt: float,
         callback: Optional[CompletionCallback],
         requested_at: float,
     ) -> None:
         """Arm the attempt timer and send one shard attempt."""
-        per_attempt = self.request_timeout / len(endpoints)
         timeout_event = self.sim.schedule(
             per_attempt,
             lambda: self._timeout(request.request_id),
@@ -194,13 +216,18 @@ class PolicyEnforcementPoint(Host):
         self._pending[request.request_id] = _PendingAttempt(
             request=request,
             forwarded=forwarded,
-            endpoints=endpoints,
-            attempt=attempt,
+            tried=tried + (endpoint,),
+            attempts_left=attempts_left,
+            per_attempt=per_attempt,
             callback=callback,
             requested_at=requested_at,
             timeout_event=timeout_event,
         )
-        self.send(endpoints[attempt], "ac_request", forwarded.to_dict())
+        # Load-aware planes project in-flight work from real dispatches
+        # (initial sends and failover retries alike), never from routing
+        # queries — this is the one place a send actually happens.
+        self.plane.note_dispatch(endpoint)
+        self.send(endpoint, "ac_request", forwarded.to_dict())
 
     # -- message handling ----------------------------------------------------------
 
@@ -240,21 +267,26 @@ class PolicyEnforcementPoint(Host):
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return
-        next_attempt = pending.attempt + 1
-        if next_attempt < len(pending.endpoints):
-            # Fail over: same envelope, next shard in ring order.  The
-            # request id carries over, so whichever shard answers first
-            # wins and stragglers are dropped as duplicates.
-            self.failovers += 1
-            self._dispatch(
-                pending.request,
-                pending.forwarded,
-                pending.endpoints,
-                next_attempt,
-                pending.callback,
-                pending.requested_at,
-            )
-            return
+        if pending.attempts_left > 0:
+            next_endpoint = self._next_endpoint(pending)
+            if next_endpoint is not None:
+                # Fail over: same envelope, next shard in the *current*
+                # plane order (membership and backlogs may have changed
+                # since submit).  The request id carries over, so
+                # whichever shard answers first wins and stragglers are
+                # dropped as duplicates.
+                self.failovers += 1
+                self._dispatch(
+                    pending.request,
+                    pending.forwarded,
+                    next_endpoint,
+                    pending.tried,
+                    pending.attempts_left - 1,
+                    pending.per_attempt,
+                    pending.callback,
+                    pending.requested_at,
+                )
+                return
         self.timeouts += 1
         decision = AccessDecision(
             request_id=request_id,
@@ -263,3 +295,15 @@ class PolicyEnforcementPoint(Host):
             decided_at=self.sim.now,
         )
         self._enforce(pending.request, decision, pending.callback, pending.requested_at)
+
+    def _next_endpoint(self, pending: _PendingAttempt) -> Optional[str]:
+        """First not-yet-tried shard in the plane's current failover order.
+
+        Returns ``None`` when every currently routable shard has been
+        tried — the caller then enforces a timeout denial even with
+        attempt budget left (an elastic pool can shrink mid-flight).
+        """
+        for endpoint in self.plane.endpoints(pending.forwarded):
+            if endpoint not in pending.tried:
+                return endpoint
+        return None

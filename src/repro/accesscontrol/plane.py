@@ -6,8 +6,8 @@ system — and after the PDP and monitoring fast paths, it is the remaining
 throughput ceiling.  This module turns the choice into an explicit API:
 PEPs are constructed with a :class:`DecisionPlane` handle instead of a raw
 PDP address, and the plane decides how many :class:`PdpService` replicas
-exist, where each request is routed, and in what order the PEP fails over
-when a shard does not answer.
+exist *at any moment*, where each request is routed, and in what order
+the PEP fails over when a shard does not answer.
 
 Two backends ship:
 
@@ -26,16 +26,41 @@ Two backends ship:
   flush coherently on every PRP publish (``DecisionCache.bind`` is
   idempotent per PRP).
 
+Shard membership is **elastic**: :meth:`ShardedPdpPlane.add_shard` grows
+the pool at runtime and :meth:`ShardedPdpPlane.drain_shard` retires a
+replica gracefully — the drained shard leaves the hash ring immediately
+(its key range re-homes to the ring successors, and a partitioned cache's
+entries migrate with it), finishes its in-flight evaluations, and is only
+then removed from the network.  Monitoring systems subscribe to
+membership events (:meth:`DecisionPlane.on_membership`) so probes attach
+to a new shard before it serves its first request and detach from a
+drained shard only after its last reply — coverage never gaps.
+
+Two routing upgrades layer on top of ring order, both opt-in and both
+pure topology (decisions and alerts stay bit-identical — E13's
+differential arm pins this):
+
+- ``queue_aware=True`` — each shard exposes its *busy cursor*
+  (:meth:`~repro.accesscontrol.pdp_service.PdpService.busy_seconds`);
+  when the ring-preferred shard's backlog exceeds the best alternative by
+  more than ``queue_threshold`` seconds, the order is re-sorted around
+  the hot shard instead of waiting out the PEP's per-attempt timeout.
+- ``locality_aware=True`` — shards deploy round-robin across the member
+  clouds' infrastructure sections and the plane prefers the shard
+  co-located with the requesting PEP's cloud (metro latency instead of
+  the federation WAN), falling back to ring order across clouds.
+
 Monitoring coverage follows the plane: DRAMS and the centralized baseline
 attach probes to *every* replica (:func:`repro.drams.probe.attach_plane_probes`),
-so sharding never opens an unobserved decision path.
+and track membership changes live, so elasticity never opens an
+unobserved decision path.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from collections import OrderedDict
-from typing import TYPE_CHECKING, Optional, Sequence
+from collections import OrderedDict, deque
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from repro.accesscontrol.decision_cache import DecisionCache
 from repro.accesscontrol.messages import AccessRequest
@@ -50,12 +75,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.federation.federation import Federation
 
 
+#: Membership listener signature: ``listener(event, service)`` with
+#: ``event`` one of ``"added"`` (routable, probe now), ``"draining"``
+#: (left the ring, still finishing in-flight work) or ``"removed"``
+#: (quiescent and off the network, probe may detach).
+MembershipListener = Callable[[str, PdpService], None]
+
+
 class DecisionPlane:
     """Abstract handle PEPs use to reach policy evaluators.
 
     A plane owns its :class:`PdpService` replicas (created by
     :meth:`deploy`) and answers one routing question per request:
     :meth:`endpoints` — which shard addresses to try, in failover order.
+    Planes with elastic membership announce changes through
+    :meth:`on_membership`; fixed-membership planes simply never fire.
     """
 
     #: Deployed evaluator services, primary first.  Monitoring systems
@@ -65,6 +99,7 @@ class DecisionPlane:
 
     def __init__(self) -> None:
         self._services = []
+        self._membership_listeners: list[MembershipListener] = []
 
     @property
     def services(self) -> list[PdpService]:
@@ -94,8 +129,37 @@ class DecisionPlane:
         return as_policy_plane(prp)
 
     def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
-        """Shard addresses for ``request``, primary first, failover order."""
+        """Shard addresses for ``request``, primary first, failover order.
+
+        PEPs re-query this on every failover, so the answer may change
+        between attempts — a drained shard drops out of the order, a hot
+        shard is routed around — without the PEP holding stale state.
+        """
         raise NotImplementedError
+
+    def note_dispatch(self, address: str) -> None:
+        """Tell the plane a request was actually sent to ``address``.
+
+        PEPs call this once per dispatch (initial send and each failover
+        retry).  Load-aware planes use it to project in-flight work onto
+        the right shard; querying :meth:`endpoints` alone — for routing,
+        re-planning or inspection — must never charge a shard, because
+        the caller may dispatch to a different entry (or not at all).
+        The base plane ignores it.
+        """
+
+    def on_membership(self, listener: MembershipListener) -> None:
+        """Subscribe to shard membership changes (see ``MembershipListener``).
+
+        Monitoring orchestrators use this to attach a probe to a shard
+        added at runtime before it serves its first request, and to
+        detach a drained shard's probe only once it is quiescent.
+        """
+        self._membership_listeners.append(listener)
+
+    def _notify_membership(self, event: str, service: PdpService) -> None:
+        for listener in list(self._membership_listeners):
+            listener(event, service)
 
     def caches(self) -> list[DecisionCache]:
         """The distinct decision caches behind the plane (for inspection)."""
@@ -185,13 +249,30 @@ class SinglePdpPlane(DecisionPlane):
 
 
 class ShardedPdpPlane(DecisionPlane):
-    """N evaluator replicas behind consistent hashing on the cache key.
+    """Evaluator replicas behind consistent hashing, elastic at runtime.
 
-    ``cache_policy`` is ``"shared"`` (one :class:`DecisionCache` handed to
-    every replica) or ``"partitioned"`` (one per replica; routing affinity
-    keeps each shard's cache hot).  ``virtual_nodes`` controls ring
-    balance; the default spreads load within a few percent for small
-    shard counts.
+    ``shards`` is the *initial* membership; :meth:`add_shard` and
+    :meth:`drain_shard` change it live (``self.shards`` tracks the
+    current routable count).  ``cache_policy`` is ``"shared"`` (one
+    :class:`DecisionCache` handed to every replica) or ``"partitioned"``
+    (one per replica; routing affinity keeps each shard's cache hot, and
+    a drained shard's entries migrate to their ring successors).
+    ``virtual_nodes`` controls ring balance; the default spreads load
+    within a few percent for small shard counts.
+
+    Routing upgrades (both default off, preserving classic ring order):
+
+    - ``queue_aware`` re-sorts the failover order around shards whose
+      busy cursor exceeds the best alternative by more than
+      ``queue_threshold`` seconds;
+    - ``locality_aware`` places shards round-robin across the member
+      clouds' infrastructure sections at deploy time and prefers the
+      shard co-located with the requesting PEP's cloud.
+
+    ``drain_grace`` is the minimum simulated time a draining shard lingers
+    before removal (covering requests already on the wire toward it);
+    quiescence additionally requires zero pending evaluations, checked
+    every ``drain_poll_interval`` seconds.
     """
 
     CACHE_POLICIES = ("shared", "partitioned")
@@ -207,6 +288,12 @@ class ShardedPdpPlane(DecisionPlane):
         cache_policy: str = "shared",
         virtual_nodes: int = 32,
         service_kwargs: Optional[dict] = None,
+        queue_aware: bool = False,
+        locality_aware: bool = False,
+        queue_threshold: float = 0.0,
+        routing_horizon: float = 0.05,
+        drain_grace: float = 1.0,
+        drain_poll_interval: float = 0.25,
     ) -> None:
         super().__init__()
         if shards < 1:
@@ -217,14 +304,43 @@ class ShardedPdpPlane(DecisionPlane):
             )
         if virtual_nodes < 1:
             raise ValidationError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        if queue_threshold < 0:
+            raise ValidationError(f"queue_threshold must be >= 0, got {queue_threshold}")
+        if routing_horizon < 0:
+            raise ValidationError(f"routing_horizon must be >= 0, got {routing_horizon}")
+        if drain_grace < 0:
+            raise ValidationError(f"drain_grace must be >= 0, got {drain_grace}")
+        if drain_poll_interval <= 0:
+            raise ValidationError(f"drain_poll_interval must be positive, got {drain_poll_interval}")
         self.shards = shards
         self.cache_policy = cache_policy
         self.virtual_nodes = virtual_nodes
         self.service_kwargs = dict(service_kwargs or {})
+        self.queue_aware = queue_aware
+        self.locality_aware = locality_aware
+        self.queue_threshold = queue_threshold
+        self.routing_horizon = routing_horizon
+        self.drain_grace = drain_grace
+        self.drain_poll_interval = drain_poll_interval
+        self.rebalances = 0
+        #: Queue-aware dispatches not yet visible in a shard's busy
+        #: cursor: ``(routed_at, address)`` pairs younger than
+        #: ``routing_horizon``.  A shard's cursor only moves once the
+        #: dispatched message *arrives*, so without this projection every
+        #: request in a burst sees the same stale cursors and herds onto
+        #: whichever shard currently looks idle.
+        self._recent_routes: "deque[tuple[float, str]]" = deque()
         self._prp: Optional[PolicyRetrievalPoint] = None
         self._footprints: "OrderedDict[str, frozenset]" = OrderedDict()
         self._ring: list[tuple[int, int]] = []
         self._ring_points: list[int] = []
+        self._federation: Optional["Federation"] = None
+        self._policy_plane_handle = None
+        self._shared_cache: Optional[DecisionCache] = None
+        self._next_index = shards
+        self._draining: dict[str, PdpService] = {}
+        self._shard_cloud: dict[str, str] = {}
+        self._tenant_cloud: dict[str, str] = {}
 
     # -- deployment --------------------------------------------------------------
 
@@ -238,33 +354,50 @@ class ShardedPdpPlane(DecisionPlane):
                 "pass cache_policy='shared' to supply a decision_cache"
             )
         policy_plane = self._policy_plane(prp).deploy(federation)
-        infra = federation.infrastructure_tenant
-        shared_cache = None
+        self._federation = federation
+        self._policy_plane_handle = policy_plane
         if self.cache_policy == "shared" and self.service_kwargs.get("use_decision_cache", True):
             # "or" would discard an *empty* supplied cache (len() == 0 is falsy).
             supplied = self.service_kwargs.get("decision_cache")
-            shared_cache = supplied if supplied is not None else DecisionCache()
-        services = []
-        for index in range(self.shards):
-            kwargs = dict(self.service_kwargs)
-            if shared_cache is not None:
-                kwargs["decision_cache"] = shared_cache
-            # Each shard reads policy from its own assigned replica; under
-            # a SingleStorePlane these all alias one store (the pre-plane
-            # wiring), under a ReplicatedPrpPlane they skew independently.
-            service = PdpService(
-                federation.network,
-                infra.address(f"pdp-{index}"),
-                policy_plane.retrieval_point_for(f"pdp-{index}"),
-                **kwargs,
-            )
-            infra.register_host(service.address)
-            services.append(service)
+            self._shared_cache = supplied if supplied is not None else DecisionCache()
+        if self.locality_aware:
+            # Members map to one cloud each; requests carry their origin
+            # tenant, so this is the request → cloud side of co-location.
+            for tenant in federation.member_tenants:
+                cloud = federation.cloud_of_tenant(tenant.name)
+                if cloud is not None:
+                    self._tenant_cloud[tenant.name] = cloud
+        services = [self._build_service(index) for index in range(self.shards)]
         # Route on the authority store's head: affinity only needs the key
         # to be consistent across requests, and the publisher's view is the
         # one stable head while replicas converge.
         self._adopt(services, policy_plane.authority)
         return self
+
+    def _build_service(self, index: int) -> PdpService:
+        """Construct, register and (when locality-aware) place shard ``index``."""
+        federation = self._federation
+        infra = federation.infrastructure_tenant
+        kwargs = dict(self.service_kwargs)
+        if self._shared_cache is not None:
+            kwargs["decision_cache"] = self._shared_cache
+        # Each shard reads policy from its own assigned replica; under
+        # a SingleStorePlane these all alias one store (the pre-plane
+        # wiring), under a ReplicatedPrpPlane they skew independently.
+        service = PdpService(
+            federation.network,
+            infra.address(f"pdp-{index}"),
+            self._policy_plane_handle.retrieval_point_for(f"pdp-{index}"),
+            **kwargs,
+        )
+        section = None
+        if self.locality_aware and federation.clouds:
+            cloud = federation.clouds[index % len(federation.clouds)]
+            section = next((s for s in infra.sections if s.cloud_name == cloud.name), None)
+        infra.register_host(service.address, section=section)
+        if section is not None:
+            self._shard_cloud[service.address] = section.cloud_name
+        return service
 
     @classmethod
     def over(
@@ -272,21 +405,34 @@ class ShardedPdpPlane(DecisionPlane):
         services: Sequence[PdpService],
         prp: Optional[PolicyRetrievalPoint] = None,
         virtual_nodes: int = 32,
+        queue_aware: bool = False,
+        queue_threshold: float = 0.0,
+        routing_horizon: float = 0.05,
     ) -> "ShardedPdpPlane":
         """Wrap already-deployed evaluators (manual wiring and tests).
 
-        Deploy-only knobs (``cache_policy``, ``service_kwargs``) are
+        Deploy-only knobs (``cache_policy``, ``service_kwargs``,
+        ``locality_aware`` — placement happens at deployment) are
         deliberately not accepted — the adopted services were built by
         the caller, so the plane cannot change their caches or delays and
-        reports ``cache_policy="external"``.  Pass ``prp`` whenever
-        routing affinity matters: without it the ring keys on the *raw*
-        request content, and per-request attributes (``time-of-day`` in
-        particular) fragment the key space, so partitioned caches see few
-        repeat hits.
+        reports ``cache_policy="external"``.  ``queue_aware`` is purely a
+        routing policy, so it is accepted; :meth:`add_shard` is not
+        available (the plane cannot build services), but
+        :meth:`drain_shard` works on adopted simulator-bound services.
+        Pass ``prp`` whenever routing affinity matters: without it the
+        ring keys on the *raw* request content, and per-request
+        attributes (``time-of-day`` in particular) fragment the key
+        space, so partitioned caches see few repeat hits.
         """
         if not services:
             raise ValidationError("a sharded plane needs at least one service")
-        plane = cls(shards=len(services), virtual_nodes=virtual_nodes)
+        plane = cls(
+            shards=len(services),
+            virtual_nodes=virtual_nodes,
+            queue_aware=queue_aware,
+            queue_threshold=queue_threshold,
+            routing_horizon=routing_horizon,
+        )
         plane.cache_policy = "external"  # whatever the adopted services carry
         plane._adopt(list(services), prp)
         return plane
@@ -294,14 +440,149 @@ class ShardedPdpPlane(DecisionPlane):
     def _adopt(self, services: list[PdpService], prp: Optional[PolicyRetrievalPoint]) -> None:
         self._services = services
         self._prp = prp
+        self._next_index = max(self._next_index, len(services))
+        self._rebuild_ring()
+
+    def _rebuild_ring(self) -> None:
+        """Recompute the consistent-hash ring over the routable services.
+
+        Vnode points key on shard *addresses*, so adding or draining a
+        shard moves only the key ranges adjacent to its vnodes — the
+        surviving shards keep their positions (and their cache affinity).
+        """
         ring = []
-        for index, service in enumerate(services):
+        for index, service in enumerate(self._services):
             for vnode in range(self.virtual_nodes):
                 point = int(short_hash(f"{service.address}#vnode-{vnode}", 16), 16)
                 ring.append((point, index))
         ring.sort()
         self._ring = ring
         self._ring_points = [point for point, _ in ring]
+        self.shards = len(self._services)
+
+    # -- elastic membership ------------------------------------------------------
+
+    def add_shard(self) -> PdpService:
+        """Grow the pool by one replica, live.
+
+        The new shard joins the hash ring immediately (only the key
+        ranges adjacent to its vnodes re-home to it), reads policy from
+        its own assigned replica, shares or owns a decision cache per
+        ``cache_policy``, and is announced to membership listeners
+        *before* this method returns — so monitoring probes attach before
+        the shard can serve a single request.
+        """
+        if self._federation is None:
+            raise ValidationError(
+                "add_shard needs a deployed plane (ShardedPdpPlane.over wraps "
+                "externally built services; build and adopt a new one instead)"
+            )
+        index = self._next_index
+        self._next_index += 1
+        infra = self._federation.infrastructure_tenant
+        known = set(infra.host_addresses)
+        service = self._build_service(index)
+        self._services.append(service)
+        self._rebuild_ring()
+        self.rebalances += 1
+        # New hosts, new links: the shard itself plus any host the policy
+        # plane provisioned for its replica get their LAN (and, when
+        # placed, same-cloud metro) latencies wired before any request
+        # routes here — O(hosts) per new host, not a full re-finalize.
+        for address in infra.host_addresses:
+            if address not in known:
+                self._federation.wire_host(address)
+        self._notify_membership("added", service)
+        return service
+
+    def drain_shard(self, address: Optional[str] = None) -> PdpService:
+        """Retire one replica gracefully, live.
+
+        The shard leaves the hash ring at once — new requests re-home to
+        its ring successors, and a partitioned cache's entries migrate
+        with them — but keeps its network face until it is *quiescent*:
+        zero pending evaluations and at least ``drain_grace`` simulated
+        seconds elapsed (covering requests already on the wire).  Only
+        then does it detach from the network and fire the ``"removed"``
+        membership event that lets monitoring probes let go.
+
+        ``address`` picks the replica (default: the last in deployment
+        order).  The last routable shard cannot be drained.
+        """
+        if len(self._services) <= 1:
+            raise ValidationError("cannot drain the last routable shard")
+        if address is None:
+            service = self._services[-1]
+        else:
+            service = next((s for s in self._services if s.address == address), None)
+            if service is None:
+                raise ValidationError(f"no routable shard at {address!r}")
+        sim = getattr(service, "sim", None)
+        if sim is None:
+            raise ValidationError(f"shard {service.address!r} has no simulator binding to drain on")
+        self._services.remove(service)
+        self._draining[service.address] = service
+        self._rebuild_ring()
+        self.rebalances += 1
+        self._rehome_cache_entries(service)
+        self._notify_membership("draining", service)
+        started = sim.now
+
+        def check_quiescent() -> None:
+            if (
+                getattr(service, "pending_evaluations", 0) == 0
+                and sim.now >= started + self.drain_grace
+            ):
+                self._draining.pop(service.address, None)
+                # Off the network: a pathological straggler request is
+                # dropped at the fabric and the PEP re-plans onto a live
+                # shard — never served unobserved after the probe detaches.
+                service.network.detach(service.address)
+                self._notify_membership("removed", service)
+                return
+            sim.schedule(
+                self.drain_poll_interval,
+                check_quiescent,
+                label=f"plane-drain:{service.address}",
+            )
+
+        sim.schedule(
+            self.drain_poll_interval,
+            check_quiescent,
+            label=f"plane-drain:{service.address}",
+        )
+        return service
+
+    def draining(self) -> list[PdpService]:
+        """Shards that left the ring but are still finishing work."""
+        return list(self._draining.values())
+
+    def _rehome_cache_entries(self, drained: PdpService) -> None:
+        """Migrate a partitioned cache's entries to their new ring homes.
+
+        Shared caches need nothing (every survivor already reads the same
+        object); entries whose new home aliases the drained cache are
+        skipped for the same reason.
+        """
+        cache = getattr(drained, "decision_cache", None)
+        if cache is None:
+            return
+        if all(getattr(s, "decision_cache", None) is cache for s in self._services):
+            return  # shared cache: every survivor already reads these entries
+        for key, fingerprint, response in cache.export_entries():
+            target = self._services[self._shard_index_for_point(self._key_point(key))]
+            target_cache = getattr(target, "decision_cache", None)
+            if target_cache is None or target_cache is cache:
+                continue
+            target_cache.put(key, fingerprint, response)
+
+    @staticmethod
+    def _key_point(key: str) -> int:
+        return int(short_hash(key, 16), 16)
+
+    def _shard_index_for_point(self, point: int) -> int:
+        start = bisect_right(self._ring_points, point)
+        return self._ring[start % len(self._ring)][1]
 
     # -- routing -----------------------------------------------------------------
 
@@ -342,11 +623,21 @@ class ShardedPdpPlane(DecisionPlane):
         return footprint
 
     def endpoints(self, request: AccessRequest) -> tuple[str, ...]:
+        """Failover order for ``request``: ring → locality → queue.
+
+        Ring order gives cache affinity; a locality-aware plane then
+        stably prefers shards co-located with the requesting PEP's cloud;
+        a queue-aware plane finally re-sorts by busy cursor when the
+        preferred shard's backlog exceeds the best alternative by more
+        than ``queue_threshold``.  Every transform is a stable reorder of
+        the same address set, so failover still eventually tries every
+        routable shard.
+        """
         if not self._services:
             raise ValidationError("decision plane is not deployed")
         if len(self._services) == 1:
             return (self._services[0].address,)
-        point = int(short_hash(self.route_key(request), 16), 16)
+        point = self._key_point(self.route_key(request))
         start = bisect_right(self._ring_points, point)
         order: list[str] = []
         seen: set[int] = set()
@@ -359,13 +650,104 @@ class ShardedPdpPlane(DecisionPlane):
             order.append(self._services[shard].address)
             if len(order) == len(self._services):
                 break
+        if self.locality_aware and self._shard_cloud:
+            cloud = self._tenant_cloud.get(request.origin_tenant)
+            if cloud is not None:
+                local = [a for a in order if self._shard_cloud.get(a) == cloud]
+                if local:
+                    order = local + [a for a in order if self._shard_cloud.get(a) != cloud]
+        if self.queue_aware and len(order) > 1:
+            backlogs = self._projected_backlogs()
+            if backlogs[order[0]] - min(backlogs[a] for a in order) > self.queue_threshold:
+                # Stable sort: equal backlogs keep ring/locality order, so
+                # an idle plane routes exactly like a queue-blind one.
+                order.sort(key=backlogs.__getitem__)
         return tuple(order)
+
+    def note_dispatch(self, address: str) -> None:
+        """Project a real dispatch onto ``address`` (see base docstring).
+
+        Recording here — not in :meth:`endpoints` — keeps the in-flight
+        projection honest: a failover retry charges the shard actually
+        retried (the PEP skips already-tried entries, so that is not
+        necessarily ``endpoints()[0]``), and inspection-only queries
+        charge nobody.
+        """
+        # A single-shard pool has nothing to balance, and its endpoints()
+        # short-circuits past the projection's pruning — skip recording
+        # so the deque cannot grow while a drained-down plane runs.
+        if self.queue_aware and len(self._services) > 1:
+            self._record_route(address)
+
+    def _projected_backlogs(self) -> dict[str, float]:
+        """Busy cursor per shard, plus dispatches still on the wire.
+
+        A cursor only advances when a routed request *arrives* at its
+        shard, so during a burst every caller would see the same stale
+        cursors and herd onto whichever shard currently looks idle.
+        Routings younger than ``routing_horizon`` (sized to the dispatch
+        latency) are therefore projected onto their target at the shard's
+        advertised per-request cost before the cursors are compared.
+        """
+        backlogs = {service.address: self._busy_seconds(service) for service in self._services}
+        now = self._sim_now()
+        if now is None:
+            return backlogs
+        # Inclusive expiry so ``routing_horizon=0`` disables the
+        # projection outright (same-instant routes would otherwise
+        # survive a strict comparison forever at age 0).
+        while self._recent_routes and now - self._recent_routes[0][0] >= self.routing_horizon:
+            self._recent_routes.popleft()
+        by_address = {service.address: service for service in self._services}
+        for _, address in self._recent_routes:
+            service = by_address.get(address)
+            if service is not None:
+                backlogs[address] += getattr(service, "base_processing_delay", 0.0)
+        return backlogs
+
+    def _record_route(self, address: str) -> None:
+        now = self._sim_now()
+        if now is None:
+            return
+        # Prune on write as well as on read, so the deque stays bounded
+        # by rate × horizon even when nothing queries the projection.
+        while self._recent_routes and now - self._recent_routes[0][0] >= self.routing_horizon:
+            self._recent_routes.popleft()
+        self._recent_routes.append((now, address))
+
+    def _sim_now(self) -> Optional[float]:
+        for service in self._services:
+            sim = getattr(service, "sim", None)
+            if sim is not None:
+                return sim.now
+        return None
+
+    @staticmethod
+    def _busy_seconds(service) -> float:
+        """A shard's busy cursor; externally adopted stubs report idle."""
+        probe = getattr(service, "busy_seconds", None)
+        return probe() if callable(probe) else 0.0
 
     def describe(self) -> dict:
         summary = super().describe()
         summary["cache_policy"] = self.cache_policy
         summary["virtual_nodes"] = self.virtual_nodes
+        summary["queue_aware"] = self.queue_aware
+        summary["locality_aware"] = self.locality_aware
+        summary["draining"] = sorted(self._draining)
+        summary["rebalances"] = self.rebalances
+        if self._shard_cloud:
+            summary["shard_clouds"] = dict(sorted(self._shard_cloud.items()))
         return summary
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        stats["draining"] = {
+            address: service.requests_served
+            for address, service in sorted(self._draining.items())
+        }
+        stats["rebalances"] = self.rebalances
+        return stats
 
 
 def as_plane(plane_or_service) -> DecisionPlane:

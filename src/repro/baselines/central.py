@@ -25,7 +25,12 @@ from repro.analysis.semantics import DecisionOracle
 from repro.common.rng import SeededRng
 from repro.drams.alerts import Alert, AlertBus, AlertType
 from repro.drams.logs import EntryType, LogEntry
-from repro.drams.probe import attach_pep_probes, attach_plane_probes, ProbeAgent
+from repro.drams.probe import (
+    ProbeAgent,
+    attach_pep_probes,
+    attach_plane_probes,
+    follow_plane_membership,
+)
 from repro.federation.federation import Federation
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
@@ -213,6 +218,11 @@ def attach_centralized_monitoring(federation: Federation,
     probes: dict[str, ProbeAgent] = {}
     for tenant_name, pep in peps.items():
         probes[f"pep:{tenant_name}"] = attach_pep_probes(pep, monitor.address)
-    probes.update(attach_plane_probes(as_plane(plane), infra.name, monitor.address))
+    plane = as_plane(plane)
+    probes.update(attach_plane_probes(plane, infra.name, monitor.address))
+    # Coverage follows elastic membership through the same protocol DRAMS
+    # uses: probe new shards before their first request, release drained
+    # ones once quiescent.
+    follow_plane_membership(plane, probes, infra.name, monitor.address)
     federation.finalize_topology()
     return monitor, probes

@@ -37,6 +37,26 @@ class ProbeAgent:
         self.suppressed = False
         self.suppressed_types: set[str] = set()
         self.observations = 0
+        self.detached = False
+        #: Undo closures the attach_* helpers register; ``detach()`` runs
+        #: them to unhook this agent from the component's probe points.
+        self._detachers: list = []
+
+    def detach(self) -> None:
+        """Unhook from the monitored component (elastic-plane drain).
+
+        Only the decision-plane membership protocol calls this, and only
+        on the ``"removed"`` event — i.e. after the drained shard has
+        finished its last in-flight evaluation — so detaching never skips
+        an observation.  Idempotent; observation counters survive for
+        post-run inspection.
+        """
+        if self.detached:
+            return
+        self.detached = True
+        for undo in self._detachers:
+            undo()
+        self._detachers.clear()
 
     def observe(self, correlation_id: str, entry_type: str, payload: dict) -> None:
         """Record one monitoring point and ship it to the LI."""
@@ -69,6 +89,8 @@ def attach_pep_probes(pep: PolicyEnforcementPoint, li_address: str) -> ProbeAgen
 
     pep.on_request_intercepted.append(on_request)
     pep.on_enforce.append(on_enforce)
+    agent._detachers.append(lambda: pep.on_request_intercepted.remove(on_request))
+    agent._detachers.append(lambda: pep.on_enforce.remove(on_enforce))
     return agent
 
 
@@ -87,6 +109,9 @@ def attach_pdp_probes(pdp_service: PdpService, tenant: str, li_address: str) -> 
 
     pdp_service.on_request_received.append(on_request)
     pdp_service.on_decision.append(on_decision)
+    agent._detachers.append(
+        lambda: pdp_service.on_request_received.remove(on_request))
+    agent._detachers.append(lambda: pdp_service.on_decision.remove(on_decision))
     return agent
 
 
@@ -97,7 +122,9 @@ def attach_plane_probes(plane: DecisionPlane, tenant: str,
     Monitoring coverage must follow the plane: a sharded pool with an
     unprobed replica would open a decision path DRAMS never observes.
     The primary replica keeps the historical ``"pdp"`` probe key (threat
-    experiments target it); further shards get ``"pdp:<index>"``.
+    experiments target it); further shards get ``"pdp:<index>"``.  For
+    planes with *elastic* membership, pair this with
+    :func:`follow_plane_membership` so coverage tracks runtime changes.
     """
     services = plane.services
     if not services:
@@ -109,3 +136,31 @@ def attach_plane_probes(plane: DecisionPlane, tenant: str,
         key = "pdp" if index == 0 else f"pdp:{index}"
         agents[key] = attach_pdp_probes(service, tenant, li_address)
     return agents
+
+
+def follow_plane_membership(plane: DecisionPlane, probes: dict[str, ProbeAgent],
+                            tenant: str, li_address: str) -> None:
+    """Keep ``probes`` in lockstep with a plane's membership events.
+
+    The one membership-to-coverage protocol both DRAMS and the
+    centralized baseline follow: a shard announced as ``"added"`` is
+    probed before it can serve a request (guarding against double-probe
+    if it is somehow already covered), keyed ``"pdp:<address>"``; a
+    shard announced as ``"removed"`` — quiescent, off the network — has
+    its probe detached.  ``"draining"`` keeps its probe: in-flight work
+    must stay observed to its last reply.
+    """
+
+    def on_membership(event: str, service) -> None:
+        if event == "added":
+            if any(probe.component_host is service and not probe.detached
+                   for probe in probes.values()):
+                return
+            probes[f"pdp:{service.address}"] = attach_pdp_probes(
+                service, tenant, li_address)
+        elif event == "removed":
+            for probe in probes.values():
+                if probe.component_host is service:
+                    probe.detach()
+
+    plane.on_membership(on_membership)

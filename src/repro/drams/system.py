@@ -5,7 +5,9 @@ Wires the full Figure 1 stack over a federation:
 - one blockchain node + one Logging Interface per tenant (members and
   infrastructure), full-mesh gossip, all nodes mining (private PoW chain);
 - probing agents on every member-tenant PEP and on every PDP replica the
-  decision plane deploys (one probe per shard);
+  decision plane deploys (one probe per shard, following elastic
+  membership live: shards added at runtime are probed before their first
+  request, drained shards keep their probe until quiescent);
 - the monitor smart contract deployed chain-wide;
 - the Analyser with its own blockchain node, registered in the
   infrastructure tenant but in a separate section from the access control
@@ -35,7 +37,12 @@ from repro.drams.analyser import Analyser
 from repro.drams.contract import CONTRACT_NAME, MonitorContract
 from repro.drams.logs import EntryType
 from repro.drams.logging_interface import LoggingInterface
-from repro.drams.probe import ProbeAgent, attach_pep_probes, attach_plane_probes
+from repro.drams.probe import (
+    ProbeAgent,
+    attach_pep_probes,
+    attach_plane_probes,
+    follow_plane_membership,
+)
 from repro.federation.federation import Federation
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import PolicyEnforcementPoint
@@ -105,9 +112,11 @@ class DramsSystem:
         # replica can never alter the auditor's view.
         self.policy_plane = as_policy_plane(prp).deploy(federation)
         self.prp = self.policy_plane.authority
-        # The decision plane decides how many PDP evaluators exist; a bare
-        # PdpService (the pre-plane calling convention) is adopted into a
-        # single-evaluator plane.
+        # The decision plane decides how many PDP evaluators exist at any
+        # moment (elastic planes change membership mid-run; coverage
+        # follows via _on_plane_membership); a bare PdpService (the
+        # pre-plane calling convention) is adopted into a single-evaluator
+        # plane.
         self.plane = as_plane(plane)
         self.pdp_services = self.plane.services
         if not self.pdp_services:
@@ -222,8 +231,25 @@ class DramsSystem:
                 raise ValidationError(f"no logging interface for tenant {tenant_name!r}")
             self.probes[f"pep:{tenant_name}"] = attach_pep_probes(pep, li.address)
         self.probes.update(attach_plane_probes(self.plane, infra.name, infra_li))
+        # Elastic planes announce membership changes; monitoring coverage
+        # must follow them live — a probe attaches to a new shard before
+        # its first request and detaches from a drained shard only after
+        # its last reply, so coverage never gaps.  The shared helper
+        # implements the probe protocol; the local listener only keeps
+        # ``pdp_services`` aligned with the plane.
+        follow_plane_membership(self.plane, self.probes, infra.name, infra_li)
+        self.plane.on_membership(self._track_plane_membership)
 
         self.federation.finalize_topology()
+
+    def _track_plane_membership(self, event: str, service: PdpService) -> None:
+        if event == "added" and service not in self.pdp_services:
+            self.pdp_services.append(service)
+        elif event == "removed" and service in self.pdp_services:
+            # A removed shard is quiescent and off the network; leaving it
+            # listed would let shard-indexed experiments target a dead
+            # host.  The primary (``pdp_service``) stays pinned either way.
+            self.pdp_services.remove(service)
 
     # -- lifecycle --------------------------------------------------------------------
 

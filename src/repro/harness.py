@@ -10,7 +10,9 @@ any :class:`~repro.accesscontrol.plane.DecisionPlane` and defaults to
 :class:`~repro.accesscontrol.plane.SinglePdpPlane` (the paper's single
 evaluator, bit-identical to the pre-plane wiring).  Pass
 ``ShardedPdpPlane(shards=4)`` to deploy a consistent-hashed PDP pool
-instead; PEPs, DRAMS probes and the baselines all follow the plane.
+instead; PEPs, DRAMS probes and the baselines all follow the plane —
+including runtime membership changes (:meth:`MonitoredFederation.add_pdp_shard`
+/ :meth:`MonitoredFederation.drain_pdp_shard` schedule mid-run elasticity).
 
 So is the policy distribution plane: ``build(policy_plane=...)`` accepts
 any :class:`~repro.policydist.plane.PolicyDistributionPlane` and defaults
@@ -104,7 +106,13 @@ class MonitoredFederation:
             pep = PolicyEnforcementPoint(
                 federation.network, tenant.address("pep"), tenant.name, plane
             )
-            tenant.register_host(pep.address)
+            # Placing the PEP in its tenant's cloud section is what lets a
+            # locality-aware plane give it metro-latency links to shards
+            # co-located in the same cloud; with unplaced shards (every
+            # non-locality plane) it changes nothing.
+            tenant.register_host(
+                pep.address, section=tenant.sections[0] if tenant.sections else None
+            )
             peps[tenant.name] = pep
 
         generator = RequestGenerator(scenario.workload, federation.rng.fork("scenario-workload"))
@@ -166,6 +174,27 @@ class MonitoredFederation:
 
     def run(self, until: Optional[float] = None) -> int:
         return self.sim.run(until=until)
+
+    # -- elastic decision plane ------------------------------------------------------
+
+    def add_pdp_shard(self, at: Optional[float] = None):
+        """Grow the decision plane by one shard, now or at simulated ``at``.
+
+        Requires an elastic plane (``ShardedPdpPlane``); monitoring
+        probes attach through the plane's membership events, so a shard
+        added mid-run is covered before its first request.
+        """
+        if at is None:
+            return self.plane.add_shard()
+        return self.sim.schedule_at(at, lambda: self.plane.add_shard(), label="plane-add-shard")
+
+    def drain_pdp_shard(self, address: Optional[str] = None, at: Optional[float] = None):
+        """Drain one shard (default: the newest), now or at simulated ``at``."""
+        if at is None:
+            return self.plane.drain_shard(address)
+        return self.sim.schedule_at(
+            at, lambda: self.plane.drain_shard(address), label="plane-drain-shard"
+        )
 
     # -- workload ------------------------------------------------------------------
 

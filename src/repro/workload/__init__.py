@@ -6,11 +6,11 @@ sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — seven concrete federation scenarios
+- :mod:`repro.workload.scenarios` — eight concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
   cross-cloud delegation; audit-burst compliance logging; federation-scale
-  service sharing; mid-traffic policy churn), each with its policy set,
-  population and expected decision mix.
+  service sharing; mid-traffic policy churn; elastic-scale flash crowd),
+  each with its policy set, population and expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -20,6 +20,7 @@ from repro.workload.scenarios import (
     all_scenarios,
     audit_burst_scenario,
     delegation_scenario,
+    elastic_scale_scenario,
     federation_scale_scenario,
     healthcare_scenario,
     iot_edge_scenario,
@@ -36,6 +37,7 @@ __all__ = [
     "all_scenarios",
     "audit_burst_scenario",
     "delegation_scenario",
+    "elastic_scale_scenario",
     "federation_scale_scenario",
     "healthcare_scenario",
     "iot_edge_scenario",

@@ -45,6 +45,16 @@ A seventh scenario stresses the *policy distribution plane* (E12):
   them while requests are in flight, which makes PRP replica skew (and the
   policy-churn vs policy-violation alert taxonomy) observable.
 
+An eighth scenario stresses the *elastic* decision plane (E13):
+
+- :func:`elastic_scale_scenario` — a civil-protection federation hit by a
+  flash crowd: a strongly Zipf-skewed population hammers a handful of hot
+  service classes (the public alert feed above all) at an arrival rate no
+  fixed shard pool absorbs evenly.  Hot cache keys concentrate on
+  whichever shards the hash ring assigns them, so the scenario is the
+  natural substrate for queue-aware routing and for mid-run
+  ``add_shard``/``drain_shard`` membership changes.
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -789,6 +799,109 @@ def policy_churn_scenario(generations: int = 4) -> Scenario:
     )
 
 
+#: Service classes of the civil-protection federation: class →
+#: (reader roles, writer roles).  The alert feed is the flash-crowd
+#: magnet; responders run the field registers, coordinators direct them,
+#: ingest bots feed the sensor-derived ledgers.
+_ELASTIC_SERVICE_CLASSES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "alert-feed": (("responder", "coordinator", "analyst"), ("coordinator",)),
+    "shelter-registry": (("responder", "coordinator"), ("responder",)),
+    "evacuation-orders": (("responder", "coordinator", "analyst"), ("coordinator",)),
+    "relief-claims": (("coordinator", "analyst"), ("responder",)),
+    "medical-triage": (("responder", "coordinator"), ("responder",)),
+    "volunteer-roster": (("coordinator",), ("coordinator",)),
+    "traffic-status": (("responder", "analyst"), ("ingest-bot",)),
+    "supply-depots": (("responder", "coordinator"), ("ingest-bot",)),
+}
+
+_ELASTIC_AUDITED_CLASSES = ("evacuation-orders", "relief-claims")
+
+
+def elastic_scale_scenario() -> Scenario:
+    """Civil-protection flash crowd: the elastic decision plane's substrate.
+
+    Two properties matter, and both are about *where* load lands rather
+    than how much there is in total:
+
+    - the resource catalogue is strongly Zipf-skewed (``zipf_skew=1.5``)
+      and front-loaded onto the alert feed, so a small set of decision
+      cache keys dominates the stream — consistent hashing pins each hot
+      key to one shard, and whichever shards draw them run hot while
+      their ring neighbours idle (queue-aware routing's best case, pure
+      ring order's worst);
+    - the arrival rate (3 000/s) out-runs any *fixed* pool provisioned
+      for the pre-crowd baseline, so absorbing the spike without
+      re-deploying is exactly the ``add_shard``/``drain_shard`` story E13
+      measures; writes stay home-tenant-gated so locality routing sees
+      both branches.
+    """
+    policies = []
+    for service_class, (readers, writers) in _ELASTIC_SERVICE_CLASSES.items():
+        obligations = []
+        if service_class in _ELASTIC_AUDITED_CLASSES:
+            obligations.append(Obligation(
+                f"audit-{service_class}", "Permit",
+                {"reason": "emergency-powers accountability record"}))
+        policies.append(Policy(
+            policy_id=f"civ-{service_class}",
+            rule_combining="permit-overrides",
+            target=Target.single("string-equal", service_class, "resource", "type"),
+            rules=[
+                Rule(f"{service_class}-read", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", readers),
+                     condition=_action_is("read")),
+                Rule(f"{service_class}-home-write", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", writers),
+                     condition=Apply("and", (_action_is("write"),
+                                             _home_tenant()))),
+            ],
+            obligations=obligations,
+            description=f"{service_class}: read {readers}, home-write {writers}.",
+        ))
+
+    root = PolicySet(
+        policy_set_id="elastic-scale",
+        policy_combining="deny-unless-permit",
+        children=policies,
+        description="Civil-protection service classes; default deny.",
+    )
+
+    roles = ("responder", "coordinator", "analyst", "ingest-bot")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(_ELASTIC_SERVICE_CLASSES))
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    # Front-load the catalogue onto the flash-crowd magnet: resource
+    # types are assigned round-robin over this tuple and popularity is
+    # Zipf over the catalogue index, so repeating ``alert-feed`` in the
+    # leading positions concentrates the hottest resources — and hence
+    # the hottest decision-cache keys — on a single service class.
+    catalogue = ("alert-feed", "alert-feed", "alert-feed") + tuple(
+        c for c in _ELASTIC_SERVICE_CLASSES if c != "alert-feed")
+    workload = WorkloadConfig(
+        subjects=300,
+        resources=900,
+        roles=roles,
+        role_weights=(0.45, 0.2, 0.15, 0.2),
+        resource_types=catalogue,
+        actions=("read", "write"),
+        action_weights=(0.75, 0.25),
+        zipf_skew=1.5,
+        arrival_rate=3000.0,
+    )
+    return Scenario(
+        name="elastic-scale",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="A civil-protection flash crowd whose hot keys and "
+                    "spiking arrival rate demand an elastic decision plane.",
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -802,4 +915,5 @@ SCENARIO_FACTORIES = (
     audit_burst_scenario,
     federation_scale_scenario,
     policy_churn_scenario,
+    elastic_scale_scenario,
 )

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fail on dead relative links in the repo's markdown documentation.
+
+Scans ``README.md``, the top-level ``*.md`` siblings and everything under
+``docs/`` for markdown links/images, and verifies that every *relative*
+target resolves to an existing file or directory.  External URLs
+(``http(s)://``, ``mailto:``), pure in-page anchors (``#...``) and
+targets that resolve outside the repository (GitHub web paths such as
+the CI badge's ``../../actions/...``) are skipped — the tool checks the
+documentation tree, not the internet.
+
+Exit status: 0 when every relative link resolves, 1 otherwise (each
+dead link is listed as ``file:line: target``).  Run from anywhere:
+
+    python tools/check_doc_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: Titles (``[t](file "title")``) and anchors (``file.md#section``) are
+#: stripped from the target before resolution.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return files
+
+
+def dead_links(path: Path) -> list[tuple[int, str]]:
+    dead: list[tuple[int, str]] = []
+    for line_number, line in enumerate(path.read_text().splitlines(), start=1):
+        for match in LINK_PATTERN.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.is_relative_to(REPO_ROOT):
+                continue  # GitHub web path (e.g. the CI badge), not a file
+            if not resolved.exists():
+                dead.append((line_number, target))
+    return dead
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in markdown_files():
+        checked += 1
+        for line_number, target in dead_links(path):
+            failures += 1
+            print(f"{path.relative_to(REPO_ROOT)}:{line_number}: dead link: {target}")
+    if failures:
+        print(f"\n{failures} dead relative link(s) across {checked} markdown file(s)")
+        return 1
+    print(f"ok: {checked} markdown file(s), no dead relative links")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
