@@ -25,6 +25,7 @@ from repro.accesscontrol.plane import (
     SinglePdpPlane,
     as_plane,
 )
+from repro.accesscontrol.autoscale import AutoscaleController, CrossPepLoadView
 
 __all__ = [
     "AccessRequest",
@@ -41,4 +42,6 @@ __all__ = [
     "SinglePdpPlane",
     "ShardedPdpPlane",
     "as_plane",
+    "AutoscaleController",
+    "CrossPepLoadView",
 ]

@@ -84,6 +84,14 @@ class PdpService(Host):
         self.serialize_evaluations = serialize_evaluations
         self._busy_until = 0.0
         self.requests_served = 0
+        #: Cumulative evaluation-occupancy seconds (the service cost of
+        #: every accepted request, queueing excluded).  With
+        #: ``requests_served`` this yields the *observed* service rate —
+        #: requests per busy second — which the autoscale controller's
+        #: weighting pass turns into vnode multipliers for heterogeneous
+        #: pools.  Accumulated at accept time, so under load it may run
+        #: slightly ahead of the served counter by the queued requests.
+        self.busy_accumulated = 0.0
         #: Evaluations accepted but not yet replied to.  The elastic
         #: decision plane drains a shard only once this reaches zero, so
         #: membership changes never abandon in-flight work.
@@ -179,6 +187,7 @@ class PdpService(Host):
         delay = self.base_processing_delay
         if not hit_expected:
             delay += self.per_rule_delay * self._rule_count()
+        self.busy_accumulated += delay
         if self.serialize_evaluations:
             start = max(self.sim.now, self._busy_until)
             self._busy_until = start + delay

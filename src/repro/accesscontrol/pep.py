@@ -12,12 +12,17 @@ a per-attempt timer (``request_timeout`` split evenly across the
 endpoints answered at submit time, so a single-evaluator plane keeps the
 classic whole-request timeout).  On a timer expiry with attempts left it
 *re-queries the plane* and retries the same request envelope against the
-first not-yet-tried endpoint (``failovers`` counts these) — re-planning
-rather than replaying the submit-time order, so a shard drained from an
-elastic plane mid-flight is skipped instead of timed out against, and a
-queue-aware plane can steer the retry around a backlog that built up
-since submit.  When no untried endpoint remains (or the attempt budget
-is spent) the request is enforced as a timeout denial.  ``request_id``
+first not-yet-tried endpoint — re-planning rather than replaying the
+submit-time order, so a shard drained from an elastic plane mid-flight is
+skipped instead of timed out against, and a queue-aware plane can steer
+the retry around a backlog that built up since submit.  ``failovers``
+counts retries around a shard that is still listed but did not answer (a
+fault); ``churn_reroutes`` counts retries whose timed-out shard has left
+the re-queried membership (the autoscale controller drained it
+mid-attempt — topology churn, not a fault).  When no untried endpoint
+remains (or the attempt budget is spent) the request is enforced as a
+timeout denial, even with budget left — an elastic pool can shrink
+mid-flight.  ``request_id``
 is the idempotency key: a late or duplicate ``ac_response`` for a
 request that has already been enforced (or already failed over and
 completed) finds no pending entry and is dropped, so a slow shard can
@@ -125,6 +130,11 @@ class PolicyEnforcementPoint(Host):
         self.enforced: list[EnforcedAccess] = []
         self.timeouts = 0
         self.failovers = 0
+        #: Re-routes whose timed-out shard had already left the plane's
+        #: membership when the timer fired (an elastic controller drained
+        #: it mid-attempt).  Kept apart from ``failovers`` so autoscale
+        #: churn is never misread as shard faults.
+        self.churn_reroutes = 0
         self.on_request_intercepted: list[RequestHook] = []
         self.on_enforce: list[EnforceHook] = []
         self.forward_interceptor: Optional[ForwardInterceptor] = None
@@ -225,8 +235,10 @@ class PolicyEnforcementPoint(Host):
         )
         # Load-aware planes project in-flight work from real dispatches
         # (initial sends and failover retries alike), never from routing
-        # queries — this is the one place a send actually happens.
-        self.plane.note_dispatch(endpoint)
+        # queries — this is the one place a send actually happens.  The
+        # tenant tag lets a gossiped load view charge the dispatch to
+        # this PEP's own picture of the shard queues.
+        self.plane.note_dispatch(endpoint, source=self.tenant_name)
         self.send(endpoint, "ac_request", forwarded.to_dict())
 
     # -- message handling ----------------------------------------------------------
@@ -268,14 +280,23 @@ class PolicyEnforcementPoint(Host):
         if pending is None:
             return
         if pending.attempts_left > 0:
-            next_endpoint = self._next_endpoint(pending)
+            current = tuple(self.plane.endpoints(pending.forwarded))
+            next_endpoint = next(
+                (endpoint for endpoint in current if endpoint not in pending.tried), None
+            )
             if next_endpoint is not None:
                 # Fail over: same envelope, next shard in the *current*
                 # plane order (membership and backlogs may have changed
                 # since submit).  The request id carries over, so
                 # whichever shard answers first wins and stragglers are
-                # dropped as duplicates.
-                self.failovers += 1
+                # dropped as duplicates.  A shard the controller drained
+                # mid-attempt has dropped out of the re-queried order —
+                # that re-route is membership churn, not a shard fault,
+                # and must not pollute the failover counter.
+                if pending.tried and pending.tried[-1] not in current:
+                    self.churn_reroutes += 1
+                else:
+                    self.failovers += 1
                 self._dispatch(
                     pending.request,
                     pending.forwarded,
@@ -295,15 +316,3 @@ class PolicyEnforcementPoint(Host):
             decided_at=self.sim.now,
         )
         self._enforce(pending.request, decision, pending.callback, pending.requested_at)
-
-    def _next_endpoint(self, pending: _PendingAttempt) -> Optional[str]:
-        """First not-yet-tried shard in the plane's current failover order.
-
-        Returns ``None`` when every currently routable shard has been
-        tried — the caller then enforces a timeout denial even with
-        attempt budget left (an elastic pool can shrink mid-flight).
-        """
-        for endpoint in self.plane.endpoints(pending.forwarded):
-            if endpoint not in pending.tried:
-                return endpoint
-        return None

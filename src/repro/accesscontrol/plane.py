@@ -50,6 +50,21 @@ differential arm pins this):
   co-located with the requesting PEP's cloud (metro latency instead of
   the federation WAN), falling back to ring order across clouds.
 
+Elasticity closes the loop in :mod:`repro.accesscontrol.autoscale`: an
+:class:`~repro.accesscontrol.autoscale.AutoscaleController` drives
+:meth:`add_shard` / :meth:`drain_shard` from the very signals this module
+already exposes (busy cursors plus the in-flight projection,
+:meth:`ShardedPdpPlane.projected_backlogs`), so membership changes need
+not be scripted by the harness at all.  Three plane-side features support
+it: shard *warm-up* (a shard added to a partitioned-cache pool pre-seeds
+its :class:`DecisionCache` with the entries whose keys re-home to it, via
+the same ``export_entries`` path drains migrate through), *weighted
+shards* (per-address vnode multipliers, :meth:`ShardedPdpPlane.set_shard_weights`,
+so heterogeneous capacity gets a proportional key range), and an optional
+*gossiped load view* (``load_view=CrossPepLoadView(...)``) replacing the
+in-process route projection with per-tenant views converged over simnet
+messages — PEPs in different processes share one picture of shard queues.
+
 Monitoring coverage follows the plane: DRAMS and the centralized baseline
 attach probes to *every* replica (:func:`repro.drams.probe.attach_plane_probes`),
 and track membership changes live, so elasticity never opens an
@@ -72,6 +87,7 @@ from repro.xacml.index import attribute_footprint
 from repro.xacml.parser import policy_from_dict
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.accesscontrol.autoscale import CrossPepLoadView
     from repro.federation.federation import Federation
 
 
@@ -137,12 +153,14 @@ class DecisionPlane:
         """
         raise NotImplementedError
 
-    def note_dispatch(self, address: str) -> None:
+    def note_dispatch(self, address: str, source: Optional[str] = None) -> None:
         """Tell the plane a request was actually sent to ``address``.
 
         PEPs call this once per dispatch (initial send and each failover
-        retry).  Load-aware planes use it to project in-flight work onto
-        the right shard; querying :meth:`endpoints` alone — for routing,
+        retry), passing their tenant as ``source`` so a gossiped load
+        view can charge the dispatch to the right per-tenant picture.
+        Load-aware planes use it to project in-flight work onto the
+        right shard; querying :meth:`endpoints` alone — for routing,
         re-planning or inspection — must never charge a shard, because
         the caller may dispatch to a different entry (or not at all).
         The base plane ignores it.
@@ -273,6 +291,13 @@ class ShardedPdpPlane(DecisionPlane):
     before removal (covering requests already on the wire toward it);
     quiescence additionally requires zero pending evaluations, checked
     every ``drain_poll_interval`` seconds.
+
+    Elasticity support: ``warm_caches`` (default on) pre-seeds a runtime-added
+    shard's partitioned cache with the entries re-homing to it;
+    :meth:`set_shard_weights` scales each shard's vnode count for
+    heterogeneous capacity; ``load_view`` (requires ``queue_aware``)
+    swaps the in-process route projection for a gossiped cross-PEP view
+    (see :mod:`repro.accesscontrol.autoscale`).
     """
 
     CACHE_POLICIES = ("shared", "partitioned")
@@ -294,6 +319,8 @@ class ShardedPdpPlane(DecisionPlane):
         routing_horizon: float = 0.05,
         drain_grace: float = 1.0,
         drain_poll_interval: float = 0.25,
+        warm_caches: bool = True,
+        load_view: "Optional[CrossPepLoadView]" = None,
     ) -> None:
         super().__init__()
         if shards < 1:
@@ -312,6 +339,10 @@ class ShardedPdpPlane(DecisionPlane):
             raise ValidationError(f"drain_grace must be >= 0, got {drain_grace}")
         if drain_poll_interval <= 0:
             raise ValidationError(f"drain_poll_interval must be positive, got {drain_poll_interval}")
+        if load_view is not None and not queue_aware:
+            # The view only feeds the queue-aware reorder; accepting it on
+            # a queue-blind plane would silently gossip into a void.
+            raise ValidationError("load_view requires queue_aware=True")
         self.shards = shards
         self.cache_policy = cache_policy
         self.virtual_nodes = virtual_nodes
@@ -322,7 +353,16 @@ class ShardedPdpPlane(DecisionPlane):
         self.routing_horizon = routing_horizon
         self.drain_grace = drain_grace
         self.drain_poll_interval = drain_poll_interval
+        self.warm_caches = warm_caches
+        self.load_view = load_view
         self.rebalances = 0
+        #: Decision-cache entries copied into shards added at runtime
+        #: (partitioned pools only; see :meth:`add_shard`).
+        self.warmed_entries = 0
+        #: Per-address vnode multipliers (1.0 when absent).  Set through
+        #: :meth:`set_shard_weights`; the default leaves the ring
+        #: bit-identical to the unweighted layout.
+        self._shard_weights: dict[str, float] = {}
         #: Queue-aware dispatches not yet visible in a shard's busy
         #: cursor: ``(routed_at, address)`` pairs younger than
         #: ``routing_horizon``.  A shard's cursor only moves once the
@@ -372,6 +412,10 @@ class ShardedPdpPlane(DecisionPlane):
         # to be consistent across requests, and the publisher's view is the
         # one stable head while replicas converge.
         self._adopt(services, policy_plane.authority)
+        if self.load_view is not None:
+            # One gossip node per member tenant, registered before the
+            # topology finalises so their links get wired like any host.
+            self.load_view.deploy(federation)
         return self
 
     def _build_service(self, index: int) -> PdpService:
@@ -449,16 +493,52 @@ class ShardedPdpPlane(DecisionPlane):
         Vnode points key on shard *addresses*, so adding or draining a
         shard moves only the key ranges adjacent to its vnodes — the
         surviving shards keep their positions (and their cache affinity).
+        A shard's vnode count scales with its weight (default 1.0, which
+        reproduces the unweighted ring exactly); a shard observed to be
+        twice as fast can carry twice the key range.
         """
         ring = []
         for index, service in enumerate(self._services):
-            for vnode in range(self.virtual_nodes):
+            for vnode in range(self._vnode_count(service.address)):
                 point = int(short_hash(f"{service.address}#vnode-{vnode}", 16), 16)
                 ring.append((point, index))
         ring.sort()
         self._ring = ring
         self._ring_points = [point for point, _ in ring]
         self.shards = len(self._services)
+
+    def _vnode_count(self, address: str) -> int:
+        return max(1, round(self.virtual_nodes * self._shard_weights.get(address, 1.0)))
+
+    @property
+    def shard_weights(self) -> dict[str, float]:
+        """Current vnode multipliers (addresses not listed weigh 1.0)."""
+        return dict(self._shard_weights)
+
+    def set_shard_weights(self, weights: dict[str, float]) -> bool:
+        """Merge per-shard vnode multipliers; returns True if the ring moved.
+
+        ``weights`` maps routable shard addresses to positive multipliers
+        (1.0 = the plane's ``virtual_nodes`` baseline).  Addresses not
+        mentioned keep their previous weight.  The ring is only rebuilt —
+        and ``rebalances`` only bumped — when some shard's effective
+        vnode count actually changes, so a controller may call this every
+        tick without churning key ranges (small weight nudges below the
+        vnode quantum are absorbed).
+        """
+        routable = {service.address for service in self._services}
+        for address, weight in weights.items():
+            if address not in routable:
+                raise ValidationError(f"no routable shard at {address!r}")
+            if weight <= 0:
+                raise ValidationError(f"shard weight must be positive, got {weight} for {address!r}")
+        before = {address: self._vnode_count(address) for address in routable}
+        self._shard_weights.update(weights)
+        if all(self._vnode_count(address) == before[address] for address in routable):
+            return False
+        self._rebuild_ring()
+        self.rebalances += 1
+        return True
 
     # -- elastic membership ------------------------------------------------------
 
@@ -485,6 +565,8 @@ class ShardedPdpPlane(DecisionPlane):
         self._services.append(service)
         self._rebuild_ring()
         self.rebalances += 1
+        if self.warm_caches:
+            self.warmed_entries += self._warm_new_shard(service)
         # New hosts, new links: the shard itself plus any host the policy
         # plane provisioned for its replica get their LAN (and, when
         # placed, same-cloud metro) latencies wired before any request
@@ -494,6 +576,38 @@ class ShardedPdpPlane(DecisionPlane):
                 self._federation.wire_host(address)
         self._notify_membership("added", service)
         return service
+
+    def _warm_new_shard(self, service: PdpService) -> int:
+        """Pre-seed a new shard's partitioned cache from the pool, return count.
+
+        The new shard's vnodes claim key ranges previously owned by its
+        ring neighbours; without warm-up every re-homed key that was hot
+        in a neighbour's cache restarts cold here (the cold-start latency
+        cliff).  Walking the surviving shards' ``export_entries`` — the
+        same path drains migrate through — and copying entries whose key
+        now homes on the new shard closes that gap before the membership
+        event even fires.  Shared caches (one object behind every shard)
+        need nothing; the copy preserves each entry's fingerprint, so the
+        seeded cache still flushes coherently on the next PRP publish.
+        """
+        cache = getattr(service, "decision_cache", None)
+        if cache is None:
+            return 0
+        if any(getattr(s, "decision_cache", None) is cache for s in self._services if s is not service):
+            return 0  # shared cache: the new shard already reads every entry
+        seeded = 0
+        for donor in self._services:
+            if donor is service:
+                continue
+            donor_cache = getattr(donor, "decision_cache", None)
+            if donor_cache is None or donor_cache is cache:
+                continue
+            for key, fingerprint, response in donor_cache.export_entries():
+                home = self._services[self._shard_index_for_point(self._key_point(key))]
+                if home is service:
+                    cache.put(key, fingerprint, response)
+                    seeded += 1
+        return seeded
 
     def drain_shard(self, address: Optional[str] = None) -> PdpService:
         """Retire one replica gracefully, live.
@@ -657,30 +771,40 @@ class ShardedPdpPlane(DecisionPlane):
                 if local:
                     order = local + [a for a in order if self._shard_cloud.get(a) != cloud]
         if self.queue_aware and len(order) > 1:
-            backlogs = self._projected_backlogs()
+            backlogs = self.projected_backlogs(origin=request.origin_tenant)
             if backlogs[order[0]] - min(backlogs[a] for a in order) > self.queue_threshold:
                 # Stable sort: equal backlogs keep ring/locality order, so
                 # an idle plane routes exactly like a queue-blind one.
                 order.sort(key=backlogs.__getitem__)
         return tuple(order)
 
-    def note_dispatch(self, address: str) -> None:
+    def note_dispatch(self, address: str, source: Optional[str] = None) -> None:
         """Project a real dispatch onto ``address`` (see base docstring).
 
         Recording here — not in :meth:`endpoints` — keeps the in-flight
         projection honest: a failover retry charges the shard actually
         retried (the PEP skips already-tried entries, so that is not
         necessarily ``endpoints()[0]``), and inspection-only queries
-        charge nobody.
+        charge nobody.  With a gossiped load view the dispatch is charged
+        to the ``source`` tenant's node (each PEP records only its own
+        sends and learns the others' through gossip); a dispatch without
+        a known source is invisible to the distributed view, exactly as
+        it would be to real per-process PEPs.
         """
         # A single-shard pool has nothing to balance, and its endpoints()
         # short-circuits past the projection's pruning — skip recording
         # so the deque cannot grow while a drained-down plane runs.
-        if self.queue_aware and len(self._services) > 1:
-            self._record_route(address)
+        if not (self.queue_aware and len(self._services) > 1):
+            return
+        if self.load_view is not None and self.load_view.deployed:
+            service = next((s for s in self._services if s.address == address), None)
+            cost = getattr(service, "base_processing_delay", 0.0) if service is not None else 0.0
+            self.load_view.record(source, address, cost)
+            return
+        self._record_route(address)
 
-    def _projected_backlogs(self) -> dict[str, float]:
-        """Busy cursor per shard, plus dispatches still on the wire.
+    def projected_backlogs(self, origin: Optional[str] = None) -> dict[str, float]:
+        """Busy cursor per routable shard, plus dispatches still on the wire.
 
         A cursor only advances when a routed request *arrives* at its
         shard, so during a burst every caller would see the same stale
@@ -688,10 +812,25 @@ class ShardedPdpPlane(DecisionPlane):
         Routings younger than ``routing_horizon`` (sized to the dispatch
         latency) are therefore projected onto their target at the shard's
         advertised per-request cost before the cursors are compared.
+
+        ``origin`` selects whose in-flight picture is merged in when a
+        gossiped load view is deployed: a tenant name yields that PEP's
+        view (own fresh dispatches plus the peers' last gossiped
+        snapshots — boundedly stale, as a distributed view must be);
+        ``None`` yields the exact global projection (every node's own
+        fresh charges), which is what the in-process autoscale controller
+        reads.  Without a load view the shared in-process deque is used
+        and ``origin`` is irrelevant.  This is also the autoscaler's
+        utilisation signal — see :mod:`repro.accesscontrol.autoscale`.
         """
         backlogs = {service.address: self._busy_seconds(service) for service in self._services}
         now = self._sim_now()
         if now is None:
+            return backlogs
+        if self.load_view is not None and self.load_view.deployed:
+            for address, charge in self.load_view.projection_for(origin).items():
+                if address in backlogs:
+                    backlogs[address] += charge
             return backlogs
         # Inclusive expiry so ``routing_horizon=0`` disables the
         # projection outright (same-instant routes would otherwise
@@ -736,6 +875,9 @@ class ShardedPdpPlane(DecisionPlane):
         summary["locality_aware"] = self.locality_aware
         summary["draining"] = sorted(self._draining)
         summary["rebalances"] = self.rebalances
+        summary["gossip_load_view"] = self.load_view is not None
+        if self._shard_weights:
+            summary["shard_weights"] = dict(sorted(self._shard_weights.items()))
         if self._shard_cloud:
             summary["shard_clouds"] = dict(sorted(self._shard_cloud.items()))
         return summary
@@ -747,6 +889,7 @@ class ShardedPdpPlane(DecisionPlane):
             for address, service in sorted(self._draining.items())
         }
         stats["rebalances"] = self.rebalances
+        stats["warmed_entries"] = self.warmed_entries
         return stats
 
 

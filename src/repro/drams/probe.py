@@ -149,6 +149,12 @@ def follow_plane_membership(plane: DecisionPlane, probes: dict[str, ProbeAgent],
     shard announced as ``"removed"`` — quiescent, off the network — has
     its probe detached.  ``"draining"`` keeps its probe: in-flight work
     must stay observed to its last reply.
+
+    The protocol is indifferent to *who* changes membership: harness
+    scripts (``add_pdp_shard(at=...)``) and the self-driving
+    :class:`~repro.accesscontrol.autoscale.AutoscaleController` emit the
+    same events, so controller-initiated elasticity is covered without
+    any extra wiring (E14's monitored arm pins zero alert leakage).
     """
 
     def on_membership(event: str, service) -> None:

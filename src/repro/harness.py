@@ -11,8 +11,13 @@ any :class:`~repro.accesscontrol.plane.DecisionPlane` and defaults to
 evaluator, bit-identical to the pre-plane wiring).  Pass
 ``ShardedPdpPlane(shards=4)`` to deploy a consistent-hashed PDP pool
 instead; PEPs, DRAMS probes and the baselines all follow the plane —
-including runtime membership changes (:meth:`MonitoredFederation.add_pdp_shard`
-/ :meth:`MonitoredFederation.drain_pdp_shard` schedule mid-run elasticity).
+including runtime membership changes, wherever they originate: scripted
+(:meth:`MonitoredFederation.add_pdp_shard` /
+:meth:`MonitoredFederation.drain_pdp_shard` schedule explicit mid-run
+elasticity) or self-driving (``build(autoscaler=AutoscaleController(...))``
+binds a controller that watches the plane's utilisation signal and
+actuates membership itself — no harness scripting involved; see
+:mod:`repro.accesscontrol.autoscale`).
 
 So is the policy distribution plane: ``build(policy_plane=...)`` accepts
 any :class:`~repro.policydist.plane.PolicyDistributionPlane` and defaults
@@ -29,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.accesscontrol.autoscale import AutoscaleController
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.pdp_service import PdpService
 from repro.accesscontrol.pep import EnforcedAccess, PolicyEnforcementPoint
@@ -59,6 +65,7 @@ class MonitoredFederation:
     peps: dict[str, PolicyEnforcementPoint]
     generator: RequestGenerator
     policy_plane: PolicyDistributionPlane = field(default_factory=SingleStorePlane)
+    autoscaler: Optional[AutoscaleController] = None
     drams: Optional[DramsSystem] = None
     outcomes: list[EnforcedAccess] = field(default_factory=list)
     issued: int = 0
@@ -76,14 +83,19 @@ class MonitoredFederation:
         federation_config: Optional[FederationConfig] = None,
         plane: Optional[DecisionPlane] = None,
         policy_plane: "Optional[PolicyDistributionPlane | PolicyRetrievalPoint]" = None,
+        autoscaler: Optional[AutoscaleController] = None,
     ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
         ``plane`` configures the decision plane topology (default: one
         PDP evaluator); ``policy_plane`` configures how policy reaches it
-        (default: one shared store).  ``with_drams=False`` yields the
-        unmonitored system (the E7 overhead experiment's control arm and
-        the baseline experiments' substrate).
+        (default: one shared store).  ``autoscaler`` binds and starts an
+        :class:`AutoscaleController` against the deployed plane — the
+        controller's decide loop is armed here, at build time, so it
+        runs whether or not :meth:`start` (which only starts DRAMS) is
+        ever called.  ``with_drams=False`` yields the unmonitored system
+        (the E7 overhead experiment's control arm and the baseline
+        experiments' substrate).
         """
         fed_config = federation_config or FederationConfig(
             name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed
@@ -116,6 +128,8 @@ class MonitoredFederation:
             peps[tenant.name] = pep
 
         generator = RequestGenerator(scenario.workload, federation.rng.fork("scenario-workload"))
+        if autoscaler is not None:
+            autoscaler.bind(plane, federation.sim).start()
         drams = None
         if with_drams:
             drams = DramsSystem(federation, policy_plane, plane, peps,
@@ -131,6 +145,7 @@ class MonitoredFederation:
             peps=peps,
             generator=generator,
             policy_plane=policy_plane,
+            autoscaler=autoscaler,
             drams=drams,
         )
 

@@ -5,12 +5,14 @@ data and services (the SUNFISH project's use cases are public-sector data
 sharing).  This package provides:
 
 - :mod:`repro.workload.generator` — seeded access-request generators with
-  Zipf-skewed subject/resource popularity and Poisson arrivals,
-- :mod:`repro.workload.scenarios` — eight concrete federation scenarios
+  Zipf-skewed subject/resource popularity and Poisson arrivals (optionally
+  diurnal: a sinusoidal arrival curve for the autoscaling experiments),
+- :mod:`repro.workload.scenarios` — nine concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
   cross-cloud delegation; audit-burst compliance logging; federation-scale
-  service sharing; mid-traffic policy churn; elastic-scale flash crowd),
-  each with its policy set, population and expected decision mix.
+  service sharing; mid-traffic policy churn; elastic-scale flash crowd;
+  diurnal municipal e-services), each with its policy set, population and
+  expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -20,6 +22,7 @@ from repro.workload.scenarios import (
     all_scenarios,
     audit_burst_scenario,
     delegation_scenario,
+    diurnal_scenario,
     elastic_scale_scenario,
     federation_scale_scenario,
     healthcare_scenario,
@@ -37,6 +40,7 @@ __all__ = [
     "all_scenarios",
     "audit_burst_scenario",
     "delegation_scenario",
+    "diurnal_scenario",
     "elastic_scale_scenario",
     "federation_scale_scenario",
     "healthcare_scenario",

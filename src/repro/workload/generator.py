@@ -4,10 +4,18 @@ Produces the access attempts the experiments replay: a population of
 subjects with roles, a resource catalogue with types, and a stream of
 (subject, resource, action) triples with Zipf-skewed popularity and
 Poisson-process arrival times — the standard shape of access workloads.
+
+Arrivals are homogeneous by default.  Setting ``arrival_period`` turns
+the stream into a *diurnal* (sinusoidal) non-homogeneous process:
+``arrival_rate`` becomes the peak, the rate dips to ``arrival_trough``
+of it half a period later, and the curve starts at the peak — the shape
+the autoscaling experiments use, where the right controller answer is to
+scale *down* into the trough and back up for the next crest.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -27,8 +35,10 @@ class WorkloadConfig:
     actions: tuple[str, ...] = ("read", "write")
     action_weights: tuple[float, ...] = (0.8, 0.2)
     zipf_skew: float = 1.1
-    arrival_rate: float = 2.0  # requests per simulated second
+    arrival_rate: float = 2.0  # requests per simulated second (peak, if diurnal)
     payload_padding_bytes: int = 0  # inflate request size (log-size sweeps)
+    arrival_period: float = 0.0  # seconds per diurnal cycle; 0 = homogeneous
+    arrival_trough: float = 0.1  # trough rate as a fraction of the peak
 
     def __post_init__(self) -> None:
         if self.subjects <= 0 or self.resources <= 0:
@@ -39,6 +49,12 @@ class WorkloadConfig:
             raise ValidationError("actions and action_weights must align")
         if self.arrival_rate <= 0:
             raise ValidationError("arrival_rate must be positive")
+        if self.arrival_period < 0:
+            raise ValidationError("arrival_period must be >= 0")
+        if not 0.0 < self.arrival_trough <= 1.0:
+            # A zero trough would stall the stream outright (expovariate
+            # at rate 0 never fires); the trough is a dip, not a stop.
+            raise ValidationError("arrival_trough must be in (0, 1]")
 
 
 @dataclass
@@ -98,11 +114,34 @@ class RequestGenerator:
     def resources(self) -> list[dict]:
         return [dict(resource) for resource in self._resources]
 
+    def arrival_rate_at(self, elapsed: float) -> float:
+        """Instantaneous arrival rate ``elapsed`` seconds into the stream.
+
+        Homogeneous streams (``arrival_period == 0``) are flat at
+        ``arrival_rate``.  Diurnal streams follow a raised cosine that
+        starts at the peak: rate(t) = peak × (trough + (1 − trough) ×
+        (1 + cos(2πt/period)) / 2), dipping to ``arrival_trough`` of the
+        peak half a period in and recovering by the full period.
+        """
+        config = self.config
+        if config.arrival_period <= 0:
+            return config.arrival_rate
+        crest = 0.5 * (1.0 + math.cos(2.0 * math.pi * elapsed / config.arrival_period))
+        return config.arrival_rate * (
+            config.arrival_trough + (1.0 - config.arrival_trough) * crest
+        )
+
     def requests(self, count: int, start_at: float = 0.0) -> Iterator[GeneratedRequest]:
-        """Yield ``count`` requests with Poisson arrivals from ``start_at``."""
+        """Yield ``count`` requests with Poisson arrivals from ``start_at``.
+
+        Diurnal streams draw each gap at the instantaneous rate — a
+        step-wise approximation of the non-homogeneous process, accurate
+        while gaps stay short against ``arrival_period`` (every scenario
+        here has thousands of arrivals per cycle).
+        """
         at = start_at
         for index in range(count):
-            at += self.rng.expovariate(self.config.arrival_rate)
+            at += self.rng.expovariate(self.arrival_rate_at(at - start_at))
             subject = dict(self.rng.choice(self._subjects))
             resource = dict(self._resources[
                 self.rng.zipf_index(len(self._resources), self.config.zipf_skew)])

@@ -55,6 +55,14 @@ An eighth scenario stresses the *elastic* decision plane (E13):
   natural substrate for queue-aware routing and for mid-run
   ``add_shard``/``drain_shard`` membership changes.
 
+A ninth scenario exercises the *self-driving* decision plane (E14):
+
+- :func:`diurnal_scenario` — municipal e-services under a sinusoidal
+  daily arrival curve (peak → trough → peak).  Where ``elastic-scale``
+  rewards growing the pool, this one rewards *shrinking* it: a
+  controller that drains shards into the trough serves the same
+  decisions with fewer shard-seconds.
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -902,6 +910,90 @@ def elastic_scale_scenario() -> Scenario:
     )
 
 
+#: Service classes of the municipal e-services federation: class →
+#: (reader roles, writer roles).  Citizen-facing portals carry the
+#: daily curve; back-office registers tick along underneath it.
+_DIURNAL_SERVICE_CLASSES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "service-portal": (("citizen", "clerk"), ("clerk",)),
+    "permit-applications": (("citizen", "clerk"), ("citizen",)),
+    "parking-permits": (("citizen", "clerk"), ("clerk",)),
+    "waste-collection": (("citizen", "clerk"), ("service-bot",)),
+    "library-catalogue": (("citizen", "clerk"), ("service-bot",)),
+    "inspection-reports": (("inspector", "clerk"), ("inspector",)),
+}
+
+
+def diurnal_scenario() -> Scenario:
+    """Municipal e-services under a daily load curve: the scale-*down* test.
+
+    Every other load-shaped scenario asks "can the plane grow fast
+    enough?".  This one asks the opposite question: the arrival rate is a
+    raised cosine (``arrival_period``) that starts at a peak a four-shard
+    pool handles comfortably, sinks to ``arrival_trough`` (a tenth) of it
+    half a cycle later, and crests again — so a controller that only ever
+    adds capacity fails the point of the exercise.  The right answer is
+    to drain shards into the trough (fewer shard-seconds for the same
+    decisions — E14's efficiency metric) and re-add them, warm, for the
+    next crest.  Arrivals dominated by citizens reading a few portal
+    classes keep the decision caches hot across the membership churn.
+    """
+    policies = []
+    for service_class, (readers, writers) in _DIURNAL_SERVICE_CLASSES.items():
+        policies.append(Policy(
+            policy_id=f"mun-{service_class}",
+            rule_combining="permit-overrides",
+            target=Target.single("string-equal", service_class, "resource", "type"),
+            rules=[
+                Rule(f"{service_class}-read", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", readers),
+                     condition=_action_is("read")),
+                Rule(f"{service_class}-home-write", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", writers),
+                     condition=Apply("and", (_action_is("write"),
+                                             _home_tenant()))),
+            ],
+            description=f"{service_class}: read {readers}, home-write {writers}.",
+        ))
+
+    root = PolicySet(
+        policy_set_id="diurnal-federation",
+        policy_combining="deny-unless-permit",
+        children=policies,
+        description="Municipal e-service classes; default deny.",
+    )
+
+    roles = ("citizen", "clerk", "inspector", "service-bot")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(_DIURNAL_SERVICE_CLASSES))
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=300,
+        resources=800,
+        roles=roles,
+        role_weights=(0.65, 0.2, 0.05, 0.1),
+        resource_types=tuple(_DIURNAL_SERVICE_CLASSES),
+        actions=("read", "write"),
+        action_weights=(0.85, 0.15),
+        zipf_skew=1.2,
+        arrival_rate=350.0,   # the peak of the curve
+        arrival_period=6.0,   # one full day, compressed
+        arrival_trough=0.1,   # overnight traffic: a tenth of the peak
+    )
+    return Scenario(
+        name="diurnal",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="Citizens work the municipal portals through a daily "
+                    "peak-trough-peak arrival curve; the efficient plane "
+                    "sheds shards into the trough.",
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -916,4 +1008,5 @@ SCENARIO_FACTORIES = (
     federation_scale_scenario,
     policy_churn_scenario,
     elastic_scale_scenario,
+    diurnal_scenario,
 )

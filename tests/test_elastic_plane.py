@@ -182,7 +182,9 @@ class TestDrainShard:
     def test_pep_replans_failover_around_drained_shard(self):
         # A request dispatched to a shard that drains (and goes quiescent)
         # before answering must fail over to a *surviving* shard on the
-        # re-planned route, not be retried against the removed one.
+        # re-planned route, not be retried against the removed one.  The
+        # re-route counts as membership churn, not a failover: the shard
+        # was drained out from under the attempt, it did not fault.
         plane = ShardedPdpPlane(shards=2, drain_grace=0.0, drain_poll_interval=0.05)
         stack = build_stack(plane)
         pep = next(iter(stack.peps.values()))
@@ -198,7 +200,27 @@ class TestDrainShard:
         stack.run(until=60.0)
         assert len(outcomes) == 1
         assert outcomes[0].decision.status_code != "timeout"
+        assert pep.failovers == 0
+        assert pep.churn_reroutes == 1
+
+    def test_unresponsive_listed_shard_still_counts_as_failover(self):
+        # The counterpart: a shard that stays in the membership but never
+        # answers is a fault — the retry must keep incrementing
+        # ``failovers``, untouched by the churn-attribution fix.
+        plane = ShardedPdpPlane(shards=2)
+        stack = build_stack(plane)
+        pep = next(iter(stack.peps.values()))
+        request = request_with()
+        order = plane.endpoints(request)
+        victim = next(s for s in plane.services if s.address == order[0])
+        victim.receive = lambda message: None
+        outcomes = []
+        pep.submit(request, outcomes.append)
+        stack.run(until=60.0)
+        assert len(outcomes) == 1
+        assert outcomes[0].decision.status_code != "timeout"
         assert pep.failovers == 1
+        assert pep.churn_reroutes == 0
 
 
 class TestProbeLifecycle:
