@@ -126,6 +126,11 @@ class _LoadGossipNode(Host):
     # -- gossip ------------------------------------------------------------------
 
     def gossip_round(self) -> None:
+        if not self.network.is_attached(self.address):
+            # Fault plane crashed this host; its periodic timer keeps
+            # firing but a detached node must not source traffic.  Peers
+            # coast on the last accepted snapshot until restart.
+            return
         self.seq += 1
         payload = {
             "origin": self.origin,

@@ -96,6 +96,14 @@ class PdpService(Host):
         #: decision plane drains a shard only once this reaches zero, so
         #: membership changes never abandon in-flight work.
         self.pending_evaluations = 0
+        #: Crash/restart state (fault plane).  ``_epoch`` fences scheduled
+        #: evaluation events: an event armed before a crash carries the old
+        #: epoch and is discarded when it fires, modelling the process
+        #: dying with its run queue.
+        self.crashed = False
+        self.crashes = 0
+        self.evaluations_lost = 0
+        self._epoch = 0
         self.on_request_received: list[RequestHook] = []
         self.on_decision: list[DecisionHook] = []
         self.evaluation_interceptor: Optional[EvaluationInterceptor] = None
@@ -167,6 +175,41 @@ class PdpService(Host):
             return 0.0
         return max(0.0, self._busy_until - self.sim.now)
 
+    # -- crash / restart ---------------------------------------------------------
+
+    def crash(self) -> None:
+        """Abrupt process failure: drop off the network, lose in-flight work.
+
+        Accepted-but-unanswered evaluations are gone (their scheduled
+        events are epoch-fenced, their PEPs will time out and fail over);
+        the busy cursor resets with the process.  The decision cache is
+        *not* touched here — whether it dies with the process is the
+        plane's call (:meth:`ShardedPdpPlane.crash_shard` clears a
+        partitioned cache, leaves a shared one to the survivors).
+        Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self._epoch += 1
+        self.evaluations_lost += self.pending_evaluations
+        self.pending_evaluations = 0
+        self._busy_until = 0.0
+        self.network.detach(self.address)
+
+    def restart(self) -> None:
+        """Come back up at the same address (a fresh network incarnation).
+
+        Messages sent to the dead incarnation stay dead (the network's
+        incarnation fence drops them); only traffic sent from now on
+        reaches the restarted service.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.network.attach(self)
+
     # -- message handling -------------------------------------------------------
 
     def receive(self, message: Message) -> None:
@@ -193,8 +236,10 @@ class PdpService(Host):
             self._busy_until = start + delay
             delay = self._busy_until - self.sim.now
         self.pending_evaluations += 1
+        epoch = self._epoch
         self.sim.schedule(
-            delay, lambda: self._evaluate_and_reply(request, message.src, keyed),
+            delay,
+            lambda: self._evaluate_and_reply(request, message.src, keyed, epoch),
             label=f"pdp-eval:{request.request_id}")
 
     def _request_key(self, request: AccessRequest) -> Optional[tuple[str, str]]:
@@ -209,7 +254,13 @@ class PdpService(Host):
         return version.fingerprint, key
 
     def _evaluate_and_reply(self, request: AccessRequest, reply_to: str,
-                            keyed: Optional[tuple[str, str]] = None) -> None:
+                            keyed: Optional[tuple[str, str]] = None,
+                            epoch: Optional[int] = None) -> None:
+        if epoch is not None and epoch != self._epoch:
+            # The process crashed after accepting this evaluation; the
+            # event outlived it.  The loss was already accounted at crash
+            # time (``evaluations_lost``) — just let the event die.
+            return
         self.requests_served += 1
         self.pending_evaluations -= 1
         payload, version = self._decide(request, keyed)

@@ -8,9 +8,14 @@ data sharing).
 
 Routing and failover: the plane answers ``endpoints(request)`` — shard
 addresses in failover order.  The PEP sends to the first endpoint and arms
-a per-attempt timer (``request_timeout`` split evenly across the
-endpoints answered at submit time, so a single-evaluator plane keeps the
-classic whole-request timeout).  On a timer expiry with attempts left it
+a per-attempt timer.  By default the timer window is ``request_timeout``
+split evenly across the endpoints answered at submit time, so a
+single-evaluator plane keeps the classic whole-request timeout.  With a
+:class:`RetryBackoff` installed (``backoff=``), attempt windows instead
+grow exponentially with decorrelated jitter — short first probes, longer
+later ones — while every window is clamped to the remaining budget so
+``request_timeout`` still bounds the whole request.  On a timer expiry
+with attempts left the PEP
 *re-queries the plane* and retries the same request envelope against the
 first not-yet-tried endpoint — re-planning rather than replaying the
 submit-time order, so a shard drained from an elastic plane mid-flight is
@@ -67,6 +72,45 @@ EnforcementInterceptor = Callable[[AccessRequest, AccessDecision], AccessDecisio
 CompletionCallback = Callable[["EnforcedAccess"], None]
 
 
+@dataclass(frozen=True)
+class RetryBackoff:
+    """Exponential backoff with decorrelated jitter for failover windows.
+
+    The first attempt waits ``base`` seconds before failing over; each
+    subsequent window is drawn uniformly from
+    ``[base, previous * multiplier]`` (decorrelated jitter, after
+    Brooker) and capped at ``cap``.  Windows are additionally clamped to
+    the remaining ``request_timeout`` budget, so enabling backoff never
+    loosens the whole-request bound — it only re-shapes how the budget is
+    spent: cheap early probes against a dead link, patient later ones.
+
+    ``None`` (the default on the PEP) keeps the PR 6 even-split window
+    and draws no randomness, so existing runs stay bit-identical.
+    """
+
+    base: float
+    cap: float
+    multiplier: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0:
+            raise ValidationError(f"backoff base must be > 0, got {self.base}")
+        if self.cap < self.base:
+            raise ValidationError(
+                f"backoff cap must be >= base, got cap={self.cap} base={self.base}")
+        if self.multiplier < 1.0:
+            raise ValidationError(
+                f"backoff multiplier must be >= 1, got {self.multiplier}")
+
+    def first_window(self, budget: float) -> float:
+        return min(self.base, self.cap, budget)
+
+    def next_window(self, previous: float, remaining: float, rng) -> float:
+        upper = max(self.base, previous * self.multiplier)
+        window = min(self.cap, rng.uniform(self.base, upper))
+        return min(window, remaining)
+
+
 @dataclass
 class EnforcedAccess:
     """Outcome of one access attempt, as seen at the PEP."""
@@ -92,8 +136,13 @@ class _PendingAttempt:
     tried: tuple[str, ...]
     #: Failover attempts remaining after the live one.
     attempts_left: int
-    #: Timer window per attempt, fixed at submit time.
+    #: The live attempt's timer window.  Without backoff this is the
+    #: even split fixed at submit time; with backoff it is the window
+    #: the live attempt was armed with (the jitter recurrence's input).
     per_attempt: float
+    #: Absolute time the whole request must resolve by (submit time plus
+    #: ``request_timeout``); backoff windows clamp to it.
+    deadline: float
     callback: Optional[CompletionCallback]
     requested_at: float
     timeout_event: Event
@@ -109,6 +158,7 @@ class PolicyEnforcementPoint(Host):
         tenant_name: str,
         plane: "DecisionPlane",
         request_timeout: float = 30.0,
+        backoff: Optional[RetryBackoff] = None,
     ) -> None:
         if isinstance(plane, str):
             # Guard before Host.__init__ attaches us: a half-constructed
@@ -126,6 +176,13 @@ class PolicyEnforcementPoint(Host):
         self.tenant_name = tenant_name
         self.plane = plane
         self.request_timeout = request_timeout
+        self.backoff = backoff
+        # Jitter draws come from a dedicated named fork so enabling
+        # backoff on one PEP never perturbs any other consumer's stream
+        # (and the default no-backoff path draws nothing at all).
+        self._backoff_rng = (
+            network.rng.fork(f"pep-backoff/{address}") if backoff is not None else None
+        )
         self.context_handler = ContextHandler(tenant_name)
         self.enforced: list[EnforcedAccess] = []
         self.timeouts = 0
@@ -191,18 +248,24 @@ class PolicyEnforcementPoint(Host):
         previous = self._pending.pop(request.request_id, None)
         if previous is not None:
             previous.timeout_event.cancel()
-        # The attempt budget and per-attempt window freeze at submit time
-        # (so request_timeout still bounds the whole request); the actual
+        # The attempt budget and deadline freeze at submit time (so
+        # request_timeout still bounds the whole request); the actual
         # shard for each retry is re-planned at failover time.
+        now = self.sim.now
+        if self.backoff is None:
+            first_window = self.request_timeout / len(endpoints)
+        else:
+            first_window = self.backoff.first_window(self.request_timeout)
         self._dispatch(
             request,
             forwarded,
             endpoints[0],
             tried=(),
             attempts_left=len(endpoints) - 1,
-            per_attempt=self.request_timeout / len(endpoints),
+            per_attempt=first_window,
+            deadline=now + self.request_timeout,
             callback=callback,
-            requested_at=self.sim.now,
+            requested_at=now,
         )
         return request
 
@@ -214,6 +277,7 @@ class PolicyEnforcementPoint(Host):
         tried: tuple[str, ...],
         attempts_left: int,
         per_attempt: float,
+        deadline: float,
         callback: Optional[CompletionCallback],
         requested_at: float,
     ) -> None:
@@ -229,6 +293,7 @@ class PolicyEnforcementPoint(Host):
             tried=tried + (endpoint,),
             attempts_left=attempts_left,
             per_attempt=per_attempt,
+            deadline=deadline,
             callback=callback,
             requested_at=requested_at,
             timeout_event=timeout_event,
@@ -279,7 +344,18 @@ class PolicyEnforcementPoint(Host):
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return
-        if pending.attempts_left > 0:
+        if self.backoff is None:
+            next_window = pending.per_attempt
+            budget_left = pending.attempts_left > 0
+        else:
+            remaining = pending.deadline - self.sim.now
+            budget_left = pending.attempts_left > 0 and remaining > 1e-9
+            next_window = (
+                self.backoff.next_window(pending.per_attempt, remaining,
+                                         self._backoff_rng)
+                if budget_left else 0.0
+            )
+        if budget_left:
             current = tuple(self.plane.endpoints(pending.forwarded))
             next_endpoint = next(
                 (endpoint for endpoint in current if endpoint not in pending.tried), None
@@ -303,7 +379,8 @@ class PolicyEnforcementPoint(Host):
                     next_endpoint,
                     pending.tried,
                     pending.attempts_left - 1,
-                    pending.per_attempt,
+                    next_window,
+                    pending.deadline,
                     pending.callback,
                     pending.requested_at,
                 )

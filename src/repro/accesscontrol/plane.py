@@ -93,8 +93,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 #: Membership listener signature: ``listener(event, service)`` with
 #: ``event`` one of ``"added"`` (routable, probe now), ``"draining"``
-#: (left the ring, still finishing in-flight work) or ``"removed"``
-#: (quiescent and off the network, probe may detach).
+#: (left the ring, still finishing in-flight work), ``"removed"``
+#: (quiescent and off the network, probe may detach), ``"crashed"``
+#: (abruptly off the network with in-flight work lost — the probe died
+#: with the process) or ``"restarted"`` (back up at the same address
+#: under a fresh incarnation, probe re-attach before first request).
 MembershipListener = Callable[[str, PdpService], None]
 
 
@@ -379,6 +382,10 @@ class ShardedPdpPlane(DecisionPlane):
         self._shared_cache: Optional[DecisionCache] = None
         self._next_index = shards
         self._draining: dict[str, PdpService] = {}
+        #: Shards currently crashed (fault plane).  They stay in
+        #: ``_services`` — and on the ring — because a real crash is not
+        #: announced to the router; failure detection happens at the PEP.
+        self._crashed: dict[str, PdpService] = {}
         self._shard_cloud: dict[str, str] = {}
         self._tenant_cloud: dict[str, str] = {}
 
@@ -626,11 +633,22 @@ class ShardedPdpPlane(DecisionPlane):
         if len(self._services) <= 1:
             raise ValidationError("cannot drain the last routable shard")
         if address is None:
-            service = self._services[-1]
+            # Never auto-pick a crashed shard: draining needs a live
+            # process to quiesce (and an autoscale controller scaling in
+            # during an outage should retire a healthy replica).
+            service = next(
+                (s for s in reversed(self._services) if s.address not in self._crashed),
+                None,
+            )
+            if service is None:
+                raise ValidationError("no live shard to drain")
         else:
             service = next((s for s in self._services if s.address == address), None)
             if service is None:
                 raise ValidationError(f"no routable shard at {address!r}")
+            if service.address in self._crashed:
+                raise ValidationError(
+                    f"cannot drain crashed shard {address!r}; restart it first")
         sim = getattr(service, "sim", None)
         if sim is None:
             raise ValidationError(f"shard {service.address!r} has no simulator binding to drain on")
@@ -670,6 +688,69 @@ class ShardedPdpPlane(DecisionPlane):
     def draining(self) -> list[PdpService]:
         """Shards that left the ring but are still finishing work."""
         return list(self._draining.values())
+
+    # -- crash / restart (fault plane) -------------------------------------------
+
+    def crash_shard(self, address: Optional[str] = None) -> PdpService:
+        """Abruptly kill one replica (fault injection), live.
+
+        Unlike :meth:`drain_shard` this is *not* a membership operation:
+        the shard stays in the ring, because a real crash is never
+        announced to the router — failure detection lives at the PEP,
+        whose per-attempt timer expires against the silent shard and
+        fails the request over (counted as ``failovers``, a fault, not
+        ``churn_reroutes``).  The process loses its in-flight
+        evaluations, its busy cursor, and — when the cache topology is
+        partitioned — its decision cache; a shared cache lives outside
+        the process and survives.  Fires the ``"crashed"`` membership
+        event so monitoring probes detach (the probe dies with the
+        component it runs in).
+        """
+        if address is None:
+            service = self._services[-1]
+        else:
+            service = next((s for s in self._services if s.address == address), None)
+            if service is None:
+                raise ValidationError(f"no routable shard at {address!r}")
+        if service.address in self._crashed:
+            return service
+        cache = getattr(service, "decision_cache", None)
+        if cache is not None and not any(
+            getattr(s, "decision_cache", None) is cache
+            for s in self._services
+            if s is not service
+        ):
+            # Partitioned topology: the cache was process memory.
+            cache.invalidate()
+        service.crash()
+        self._crashed[service.address] = service
+        self._notify_membership("crashed", service)
+        return service
+
+    def restart_shard(self, address: str) -> PdpService:
+        """Bring a crashed replica back, live.
+
+        The shard re-attaches under a fresh network incarnation (messages
+        sent to the dead one never arrive), and — in a partitioned cache
+        topology — re-warms its cache through the same donor path a shard
+        added at runtime uses: survivors served the crashed shard's key
+        range during the outage, so their caches hold exactly the entries
+        that re-home here.  Fires ``"restarted"`` before returning, so a
+        monitoring probe is attached before the first post-restart
+        request can be served.
+        """
+        service = self._crashed.pop(address, None)
+        if service is None:
+            raise ValidationError(f"no crashed shard at {address!r}")
+        service.restart()
+        if self.warm_caches:
+            self.warmed_entries += self._warm_new_shard(service)
+        self._notify_membership("restarted", service)
+        return service
+
+    def crashed(self) -> list[PdpService]:
+        """Shards currently crashed (still on the ring, off the network)."""
+        return list(self._crashed.values())
 
     def _rehome_cache_entries(self, drained: PdpService) -> None:
         """Migrate a partitioned cache's entries to their new ring homes.

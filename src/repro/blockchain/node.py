@@ -57,6 +57,15 @@ class BlockchainNode(Host):
         self._orphans: dict[str, Block] = {}
         self._mine_event: Optional[Event] = None
         self._head_listeners: list[HeadListener] = []
+        #: Crash/rejoin state (fault plane).  A restarted node holds its
+        #: mining until the head-sync handshake confirms it sits on the
+        #: network's current chain, so a rejoin can never fork the
+        #: monitored head from a stale tip.
+        self.crashed = False
+        self.crashes = 0
+        self.resyncs = 0
+        self._syncing = False
+        self._sync_target: Optional[str] = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -78,6 +87,51 @@ class BlockchainNode(Host):
             self._mine_event.cancel()
             self._mine_event = None
 
+    # -- crash / restart ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Abrupt node failure: stop mining, drop off the network.
+
+        The chain replica and mempool survive as the node's durable
+        state (disk); what dies is liveness — gossip in flight toward
+        this address is dropped by the fabric, and the Logging
+        Interface's local submissions are journalled (accepted into the
+        mempool, not gossiped) until restart.  Idempotent.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.stop()
+        self.network.detach(self.address)
+
+    def restart(self) -> None:
+        """Rejoin the network: sync to the current head before mining.
+
+        Re-attaches under a fresh incarnation, re-floods the journalled
+        mempool (transactions submitted or displaced during the outage),
+        and asks every peer for its head.  Mining stays parked until a
+        peer's head is confirmed present in the local chain — either
+        immediately (nothing happened while down) or after the existing
+        parent-request backfill walks the gap — so the first block this
+        node mines after an outage always extends the monitored chain,
+        never a stale private tip.
+        """
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.network.attach(self)
+        for tx in self.mempool.pending():
+            self._gossip("bc_tx", tx.to_dict())
+        if self.peers:
+            self._syncing = True
+            self.resyncs += 1
+            self._sync_target = None
+            for peer in self.peers:
+                self.send(peer, "bc_head_request", {})
+        elif self.mining_enabled:
+            self._reschedule_mining()
+
     # -- client API ----------------------------------------------------------
 
     def submit_transaction(self, tx: Transaction) -> bool:
@@ -89,8 +143,10 @@ class BlockchainNode(Host):
             return False
         tx.submitted_at = self.sim.now
         accepted = self.mempool.add(tx)
-        if accepted:
+        if accepted and not self.crashed:
             self._gossip("bc_tx", tx.to_dict())
+        # While crashed the mempool acts as the LI's write-ahead journal:
+        # the transaction is queued durably and flooded at restart.
         return accepted
 
     # -- gossip ----------------------------------------------------------------
@@ -108,6 +164,10 @@ class BlockchainNode(Host):
             self._handle_block(message)
         elif message.kind == "bc_block_request":
             self._handle_block_request(message)
+        elif message.kind == "bc_head_request":
+            self._handle_head_request(message)
+        elif message.kind == "bc_head":
+            self._handle_head(message)
 
     def _handle_tx(self, message: Message) -> None:
         tx = Transaction.from_dict(message.payload)
@@ -145,6 +205,37 @@ class BlockchainNode(Host):
             return
         self.send(message.src, "bc_block", block.to_dict())
 
+    def _handle_head_request(self, message: Message) -> None:
+        self.send(message.src, "bc_head",
+                  {"hash": self.chain.head.hash, "height": self.chain.height})
+
+    def _handle_head(self, message: Message) -> None:
+        """A peer's head, answering our rejoin handshake.
+
+        If we already hold it, we were never behind (or backfill has
+        caught up) — sync is done.  Otherwise chase it through the
+        ordinary parent-request path: the peer returns the head block,
+        whose missing ancestry the orphan machinery walks hop by hop.
+        """
+        if not self._syncing:
+            return
+        head_hash = str(message.payload.get("hash", ""))
+        if not head_hash:
+            return
+        if self.chain.has_block(head_hash):
+            self._finish_sync()
+            return
+        self._sync_target = head_hash
+        if head_hash not in self._requested_parents:
+            self._requested_parents.add(head_hash)
+            self.send(message.src, "bc_block_request", {"hash": head_hash})
+
+    def _finish_sync(self) -> None:
+        self._syncing = False
+        self._sync_target = None
+        if self.mining_enabled:
+            self._reschedule_mining()
+
     def _accept_block(self, block: Block, relay_exclude: Optional[str] = None,
                       payload: Optional[dict] = None) -> None:
         old_head = self.chain.head.hash
@@ -162,6 +253,10 @@ class BlockchainNode(Host):
         if child is not None and child.hash not in self._seen_blocks:
             self._seen_blocks.add(child.hash)
             self._accept_block(child)
+        if self._syncing and self._sync_target is not None and \
+                self.chain.has_block(self._sync_target):
+            # Rejoin backfill reached the peer head we were chasing.
+            self._finish_sync()
         if self.chain.head.hash != old_head:
             # Re-inject transactions that a reorg displaced from the chain;
             # without this, logs confirmed on a losing fork vanish.
@@ -182,6 +277,11 @@ class BlockchainNode(Host):
     def _reschedule_mining(self) -> None:
         if self._mine_event is not None:
             self._mine_event.cancel()
+            self._mine_event = None
+        if self.crashed or self._syncing:
+            # Down, or rejoining: mining on a possibly-stale head would
+            # mint a private fork of the monitored chain.
+            return
         rate = self._mining_rate()
         if rate <= 0:
             return

@@ -43,13 +43,15 @@ class ProbeAgent:
         self._detachers: list = []
 
     def detach(self) -> None:
-        """Unhook from the monitored component (elastic-plane drain).
+        """Unhook from the monitored component.
 
-        Only the decision-plane membership protocol calls this, and only
-        on the ``"removed"`` event — i.e. after the drained shard has
-        finished its last in-flight evaluation — so detaching never skips
-        an observation.  Idempotent; observation counters survive for
-        post-run inspection.
+        The decision-plane membership protocol calls this on the
+        ``"removed"`` event — after the drained shard has finished its
+        last in-flight evaluation, so detaching never skips an
+        observation — and on the ``"crashed"`` event, where the probe
+        (an in-process interceptor) dies with the component it runs in.
+        Idempotent; observation counters survive for post-run
+        inspection.
         """
         if self.detached:
             return
@@ -68,8 +70,11 @@ class ProbeAgent:
             entry_type=entry_type,
             tenant=self.tenant,
             component=self.component_id,
+            # The probe reads the *component's* clock — a fault-plane
+            # clock_skew event on the host shows up here, and only here:
+            # observation timestamps skew, simulator ordering does not.
             payload=payload,
-            observed_at=self.component_host.sim.now,
+            observed_at=self.component_host.local_now,
         )
         self.component_host.send(self.li_address, "drams_log", entry.to_dict())
 
@@ -143,12 +148,13 @@ def follow_plane_membership(plane: DecisionPlane, probes: dict[str, ProbeAgent],
     """Keep ``probes`` in lockstep with a plane's membership events.
 
     The one membership-to-coverage protocol both DRAMS and the
-    centralized baseline follow: a shard announced as ``"added"`` is
-    probed before it can serve a request (guarding against double-probe
-    if it is somehow already covered), keyed ``"pdp:<address>"``; a
-    shard announced as ``"removed"`` — quiescent, off the network — has
-    its probe detached.  ``"draining"`` keeps its probe: in-flight work
-    must stay observed to its last reply.
+    centralized baseline follow: a shard announced as ``"added"`` or
+    ``"restarted"`` is probed before it can serve a request (guarding
+    against double-probe if it is somehow already covered), keyed
+    ``"pdp:<address>"``; a shard announced as ``"removed"`` — quiescent,
+    off the network — or ``"crashed"`` — the probe is in-process and
+    died with it — has its probe detached.  ``"draining"`` keeps its
+    probe: in-flight work must stay observed to its last reply.
 
     The protocol is indifferent to *who* changes membership: harness
     scripts (``add_pdp_shard(at=...)``) and the self-driving
@@ -158,13 +164,13 @@ def follow_plane_membership(plane: DecisionPlane, probes: dict[str, ProbeAgent],
     """
 
     def on_membership(event: str, service) -> None:
-        if event == "added":
+        if event in ("added", "restarted"):
             if any(probe.component_host is service and not probe.detached
                    for probe in probes.values()):
                 return
             probes[f"pdp:{service.address}"] = attach_pdp_probes(
                 service, tenant, li_address)
-        elif event == "removed":
+        elif event in ("removed", "crashed"):
             for probe in probes.values():
                 if probe.component_host is service:
                     probe.detach()

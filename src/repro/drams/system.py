@@ -243,12 +243,14 @@ class DramsSystem:
         self.federation.finalize_topology()
 
     def _track_plane_membership(self, event: str, service: PdpService) -> None:
-        if event == "added" and service not in self.pdp_services:
+        if event in ("added", "restarted") and service not in self.pdp_services:
             self.pdp_services.append(service)
-        elif event == "removed" and service in self.pdp_services:
-            # A removed shard is quiescent and off the network; leaving it
-            # listed would let shard-indexed experiments target a dead
-            # host.  The primary (``pdp_service``) stays pinned either way.
+        elif event in ("removed", "crashed") and service in self.pdp_services:
+            # A removed shard is quiescent and off the network — and a
+            # crashed one is abruptly so; leaving either listed would let
+            # shard-indexed experiments target a dead host.  The primary
+            # (``pdp_service``) stays pinned either way, and a restarted
+            # shard re-lists itself.
             self.pdp_services.remove(service)
 
     # -- lifecycle --------------------------------------------------------------------

@@ -1,0 +1,55 @@
+"""Fault-injection plane: scripted chaos for the monitored federation.
+
+Three pieces (chapter: ``docs/faults.md``):
+
+- :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` DSL
+  (partitions, link degradation, latency spikes, crash/restart, clock
+  skew), pure data that validates and round-trips through JSON;
+- :mod:`repro.faults.chaos` — the :class:`ChaosController` that executes
+  a plan against a live stack, mapping crash targets to real
+  component semantics (PDP shards, PRP replicas, chain nodes, plain
+  hosts);
+- :mod:`repro.faults.recovery` — the :class:`RecoveryRecorder` that
+  turns a chaos run into SLOs: time-to-recover per component, decisions
+  lost vs re-routed, fault windows for alert attribution.
+
+Typical use::
+
+    from repro.faults import FaultPlan, crash, partition
+
+    plan = FaultPlan(name="storm", events=(
+        partition(["pep@tenant-2"], ["pdp-0@*"], at=0.6, heal_at=1.8),
+        crash("pdp-1@*", at=2.2, restart_at=3.0),
+    ))
+    controller = stack.inject_faults(plan)
+    stack.run(until=12.0)
+    report = controller.recorder.slos()
+"""
+
+from repro.faults.chaos import ChaosController
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    clock_skew,
+    crash,
+    latency_spike,
+    link_degrade,
+    partition,
+    restart,
+)
+from repro.faults.recovery import RecoveryRecorder
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "ChaosController",
+    "RecoveryRecorder",
+    "partition",
+    "link_degrade",
+    "latency_spike",
+    "crash",
+    "restart",
+    "clock_skew",
+]

@@ -84,6 +84,7 @@ class MonitoredFederation:
         plane: Optional[DecisionPlane] = None,
         policy_plane: "Optional[PolicyDistributionPlane | PolicyRetrievalPoint]" = None,
         autoscaler: Optional[AutoscaleController] = None,
+        pep_kwargs: Optional[dict] = None,
     ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
@@ -95,7 +96,10 @@ class MonitoredFederation:
         runs whether or not :meth:`start` (which only starts DRAMS) is
         ever called.  ``with_drams=False`` yields the unmonitored system
         (the E7 overhead experiment's control arm and the baseline
-        experiments' substrate).
+        experiments' substrate).  ``pep_kwargs`` is forwarded to every
+        deployed :class:`PolicyEnforcementPoint` — the fault benchmarks
+        use it to shorten ``request_timeout`` and install a
+        ``RetryBackoff`` without changing the default topology.
         """
         fed_config = federation_config or FederationConfig(
             name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed
@@ -116,7 +120,8 @@ class MonitoredFederation:
         peps: dict[str, PolicyEnforcementPoint] = {}
         for tenant in federation.member_tenants:
             pep = PolicyEnforcementPoint(
-                federation.network, tenant.address("pep"), tenant.name, plane
+                federation.network, tenant.address("pep"), tenant.name, plane,
+                **(pep_kwargs or {})
             )
             # Placing the PEP in its tenant's cloud section is what lets a
             # locality-aware plane give it metro-latency links to shards
@@ -210,6 +215,23 @@ class MonitoredFederation:
         return self.sim.schedule_at(
             at, lambda: self.plane.drain_shard(address), label="plane-drain-shard"
         )
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def inject_faults(self, plan):
+        """Arm a scripted fault timeline against this stack.
+
+        ``plan`` is a :class:`~repro.faults.FaultPlan`; returns the armed
+        :class:`~repro.faults.ChaosController`, whose
+        :class:`~repro.faults.RecoveryRecorder` accumulates the recovery
+        SLOs as the timeline executes.  An empty plan arms nothing and
+        perturbs nothing — the differential arm of the fault benchmark
+        pins that attaching the controller is bit-identical to not having
+        it.
+        """
+        from repro.faults import ChaosController
+
+        return ChaosController.for_stack(self, plan).arm()
 
     # -- workload ------------------------------------------------------------------
 

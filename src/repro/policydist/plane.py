@@ -152,6 +152,9 @@ class _PrpReplicaHost(Host):
         super().__init__(plane._federation.network, address)
         self.plane = plane
         self.replica = replica
+        #: Fault-plane crash state: while crashed the host is off the
+        #: network and its anti-entropy timer (which keeps firing) no-ops.
+        self.crashed = False
 
     def receive(self, message: Message) -> None:
         if message.kind == "prp_publish":
@@ -162,6 +165,8 @@ class _PrpReplicaHost(Host):
 
     def pull(self) -> None:
         """Anti-entropy: ask the origin for everything past our vector."""
+        if self.crashed:
+            return
         self.send(self.plane.origin_address, "prp_pull", {"vector": self.replica.version_vector()})
 
 
@@ -274,6 +279,58 @@ class ReplicatedPrpPlane(PolicyDistributionPlane):
                 jitter=lambda: rng.uniform(0, self.anti_entropy_interval * 0.1),
             )
         )
+
+    def consumer_at(self, address: str) -> Optional[str]:
+        """The consumer whose replica host sits at ``address``, if any."""
+        for consumer, host in self._hosts.items():
+            if host.address == address:
+                return consumer
+        return None
+
+    def replica_addresses(self) -> list[str]:
+        """Replica host addresses (attached or crashed), sorted."""
+        return sorted(host.address for host in self._hosts.values())
+
+    # -- crash / restart (fault plane) ---------------------------------------------
+
+    def crash_replica(self, consumer: str) -> PrpReplica:
+        """Abruptly kill one replica's host process.
+
+        The replica drops off the network (publishes and sync batches in
+        flight toward it die at the fabric) and loses its in-memory
+        staging buffer for out-of-order records; the *applied* version
+        history is the consumer's durable store and survives, which is
+        exactly the re-bootstrap contract anti-entropy was built for.
+        """
+        federation = self._require_deployed()
+        host = self._hosts.get(consumer)
+        if host is None:
+            raise ValidationError(f"no PRP replica for consumer {consumer!r}")
+        if host.crashed:
+            return host.replica
+        host.crashed = True
+        host.replica.lose_staged()
+        federation.network.detach(host.address)
+        return host.replica
+
+    def restart_replica(self, consumer: str) -> PrpReplica:
+        """Bring a crashed replica back and converge it immediately.
+
+        Re-attaches under a fresh incarnation and issues one eager
+        version-vector pull, so recovery does not wait out a full
+        anti-entropy interval; the origin answers with exactly the suffix
+        published during the outage.
+        """
+        federation = self._require_deployed()
+        host = self._hosts.get(consumer)
+        if host is None:
+            raise ValidationError(f"no PRP replica for consumer {consumer!r}")
+        if not host.crashed:
+            return host.replica
+        federation.network.attach(host)
+        host.crashed = False
+        host.pull()
+        return host.replica
 
     # -- publish propagation --------------------------------------------------------
 

@@ -111,6 +111,19 @@ class PrpReplica(PolicyRetrievalPoint):
             moved = True
         return moved
 
+    def lose_staged(self) -> int:
+        """Drop the in-memory staging buffer (process crash); returns count.
+
+        Staged records are out-of-order deliveries waiting for their gap
+        to close — pure process memory, unlike the applied history, which
+        models the consumer's durable store.  The fault plane calls this
+        on a replica-host crash; anti-entropy re-fetches whatever was
+        lost, so convergence is delayed, never broken.
+        """
+        lost = len(self._staged)
+        self._staged.clear()
+        return lost
+
     def stats(self) -> dict:
         return {
             "consumer": self.consumer,

@@ -2,11 +2,22 @@
 
 Hosts register with the network under a unique address; sending a message
 schedules a delivery event after the link's sampled latency.  The network
-supports per-pair latency overrides, partitions and probabilistic drops,
-which the threat experiments use to model degraded federations.
+supports per-pair latency overrides, symmetric and asymmetric partitions,
+per-link fault profiles (loss, duplication, reordering jitter, added
+latency) and probabilistic drops, which the threat experiments and the
+fault-injection plane (:mod:`repro.faults`) use to model degraded
+federations.
 
 Messages are delivered by invoking ``host.receive(message)``; components
 subclass :class:`Host` (or compose one) and dispatch on ``message.kind``.
+
+Crash safety: every ``attach`` bumps an *incarnation* counter for the
+address, and a delivery only lands if the destination still runs the
+incarnation that was current at send time.  A message in flight toward a
+host that crashes — or crashes and restarts — before the delivery event
+fires is dropped (counted in ``NetworkStats.dropped_dead``) instead of
+being handed to a dead host or to a restarted incarnation with stale
+state.
 """
 
 from __future__ import annotations
@@ -58,6 +69,11 @@ class NetworkStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    #: Subset of ``dropped``: deliveries abandoned because the destination
+    #: crashed (or crashed and restarted) after the message was sent.
+    dropped_dead: int = 0
+    #: Extra deliveries injected by per-link duplication faults.
+    duplicated: int = 0
     bytes_sent: int = 0
 
     def snapshot(self) -> dict[str, int]:
@@ -65,8 +81,38 @@ class NetworkStats:
             "sent": self.sent,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "dropped_dead": self.dropped_dead,
+            "duplicated": self.duplicated,
             "bytes_sent": self.bytes_sent,
         }
+
+
+@dataclass
+class LinkFault:
+    """Adversarial delivery profile for one directed link.
+
+    ``loss`` drops the message outright; ``duplicate`` schedules a second
+    independent delivery of the same message (at-least-once semantics);
+    ``reorder_jitter`` adds a uniform random delay in ``[0, jitter]`` so
+    back-to-back messages can overtake each other; ``extra_latency`` is a
+    deterministic spike added to every traversal.  Counters feed the
+    fault-plane's recovery reports.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder_jitter: float = 0.0
+    extra_latency: float = 0.0
+    dropped: int = 0
+    duplicated: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"link loss must be in [0,1], got {self.loss}")
+        if not 0.0 <= self.duplicate <= 1.0:
+            raise ValueError(f"link duplicate must be in [0,1], got {self.duplicate}")
+        if self.reorder_jitter < 0 or self.extra_latency < 0:
+            raise ValueError("link delays must be >= 0")
 
 
 class Host:
@@ -75,11 +121,20 @@ class Host:
     def __init__(self, network: "Network", address: str) -> None:
         self.network = network
         self.address = address
+        #: Local clock error in seconds; the fault plane's ``clock_skew``
+        #: events set this.  Only *observations* (probe timestamps) read
+        #: the skewed clock — the simulator itself stays monotonic.
+        self.clock_offset = 0.0
         network.attach(self)
 
     @property
     def sim(self) -> Simulator:
         return self.network.sim
+
+    @property
+    def local_now(self) -> float:
+        """This host's possibly-skewed view of the current time."""
+        return self.sim.now + self.clock_offset
 
     def send(self, dst: str, kind: str, payload: Any) -> Optional[Message]:
         """Send a message; returns it, or None if it was dropped/partitioned."""
@@ -106,8 +161,14 @@ class Network:
         self._hosts: dict[str, Host] = {}
         self._latency_overrides: dict[tuple[str, str], LatencyModel] = {}
         self._partitions: set[frozenset[str]] = set()
+        #: Directed blocks: (src, dst) pairs where only src->dst is severed.
+        self._directed_blocks: set[tuple[str, str]] = set()
+        self._link_faults: dict[tuple[str, str], LinkFault] = {}
         self._drop_rate = 0.0
         self._taps: list[Callable[[Message], None]] = []
+        #: Per-address attach generation; deliveries are bound to the
+        #: incarnation current at send time (see module docstring).
+        self._incarnations: dict[str, int] = {}
 
     # -- topology management ---------------------------------------------------
 
@@ -115,12 +176,20 @@ class Network:
         if host.address in self._hosts:
             raise NetworkError(f"address already in use: {host.address}")
         self._hosts[host.address] = host
+        self._incarnations[host.address] = self._incarnations.get(host.address, 0) + 1
 
     def detach(self, address: str) -> None:
         self._hosts.pop(address, None)
 
     def hosts(self) -> list[str]:
         return sorted(self._hosts)
+
+    def host(self, address: str) -> Optional[Host]:
+        """The attached host at ``address``, or None (crashed/never attached)."""
+        return self._hosts.get(address)
+
+    def is_attached(self, address: str) -> bool:
+        return address in self._hosts
 
     def set_latency(self, src: str, dst: str, model: LatencyModel,
                     symmetric: bool = True) -> None:
@@ -134,18 +203,69 @@ class Network:
             raise ValueError(f"drop rate must be in [0,1], got {rate}")
         self._drop_rate = rate
 
-    def partition(self, group_a: list[str], group_b: list[str]) -> None:
-        """Block all traffic between the two host groups."""
+    def partition(self, group_a: list[str], group_b: list[str],
+                  symmetric: bool = True) -> None:
+        """Block traffic between the two host groups.
+
+        Symmetric partitions (the default) sever both directions;
+        ``symmetric=False`` blocks only group_a -> group_b, modelling the
+        asymmetric failures (one-way firewall rules, half-open links) the
+        fault plane scripts.
+        """
         for a in group_a:
             for b in group_b:
-                self._partitions.add(frozenset((a, b)))
+                if symmetric:
+                    self._partitions.add(frozenset((a, b)))
+                else:
+                    self._directed_blocks.add((a, b))
 
     def heal(self) -> None:
-        """Remove all partitions."""
+        """Remove all partitions (symmetric and directed)."""
         self._partitions.clear()
+        self._directed_blocks.clear()
+
+    def heal_partition(self, group_a: list[str], group_b: list[str]) -> None:
+        """Remove the partitions between exactly these two groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitions.discard(frozenset((a, b)))
+                self._directed_blocks.discard((a, b))
+                self._directed_blocks.discard((b, a))
 
     def is_partitioned(self, a: str, b: str) -> bool:
-        return frozenset((a, b)) in self._partitions
+        """True if a message from ``a`` to ``b`` would be severed."""
+        return frozenset((a, b)) in self._partitions or (a, b) in self._directed_blocks
+
+    # -- per-link fault profiles ------------------------------------------------
+
+    def set_link_fault(self, src: str, dst: str, *, loss: float = 0.0,
+                       duplicate: float = 0.0, reorder_jitter: float = 0.0,
+                       extra_latency: float = 0.0,
+                       symmetric: bool = False) -> LinkFault:
+        """Install an adversarial delivery profile on the src->dst link.
+
+        Returns the (forward-direction) :class:`LinkFault` so callers can
+        read its drop/duplicate counters afterwards.
+        """
+        fault = LinkFault(loss=loss, duplicate=duplicate,
+                          reorder_jitter=reorder_jitter,
+                          extra_latency=extra_latency)
+        fault.validate()
+        self._link_faults[(src, dst)] = fault
+        if symmetric:
+            reverse = LinkFault(loss=loss, duplicate=duplicate,
+                                reorder_jitter=reorder_jitter,
+                                extra_latency=extra_latency)
+            self._link_faults[(dst, src)] = reverse
+        return fault
+
+    def clear_link_fault(self, src: str, dst: str, symmetric: bool = False) -> None:
+        self._link_faults.pop((src, dst), None)
+        if symmetric:
+            self._link_faults.pop((dst, src), None)
+
+    def link_fault(self, src: str, dst: str) -> Optional[LinkFault]:
+        return self._link_faults.get((src, dst))
 
     def add_tap(self, tap: Callable[[Message], None]) -> None:
         """Install a wiretap invoked for every sent message (probes use this)."""
@@ -174,18 +294,50 @@ class Network:
         if self._drop_rate > 0 and self.rng.random() < self._drop_rate:
             self.stats.dropped += 1
             return None
-        delay = self._latency_for(src, dst).sample(self.rng, message.size_bytes())
+        fault = self._link_faults.get((src, dst))
+        if fault is not None and fault.loss > 0 and self.rng.random() < fault.loss:
+            fault.dropped += 1
+            self.stats.dropped += 1
+            return None
+        delay = self._transit_delay(src, dst, message, fault)
+        # Bind the delivery to the destination's current incarnation: a
+        # crash (detach) or crash+restart (re-attach) between now and the
+        # delivery time invalidates every message already in flight.
+        born = self._incarnations.get(dst, 0)
 
         def deliver() -> None:
             host = self._hosts.get(dst)
-            if host is None or self.is_partitioned(src, dst):
+            if host is None or self._incarnations.get(dst, 0) != born:
+                self.stats.dropped += 1
+                self.stats.dropped_dead += 1
+                return
+            if self.is_partitioned(src, dst):
                 self.stats.dropped += 1
                 return
             self.stats.delivered += 1
             host.receive(message)
 
         self.sim.schedule(delay, deliver, label=f"deliver:{kind}:{src}->{dst}")
+        if fault is not None and fault.duplicate > 0 and \
+                self.rng.random() < fault.duplicate:
+            # At-least-once delivery: a second, independently-delayed copy
+            # of the same message (same msg_id — receivers must be
+            # idempotent, which the adversarial-delivery tests pin).
+            fault.duplicated += 1
+            self.stats.duplicated += 1
+            dup_delay = self._transit_delay(src, dst, message, fault)
+            self.sim.schedule(dup_delay, deliver,
+                              label=f"deliver-dup:{kind}:{src}->{dst}")
         return message
+
+    def _transit_delay(self, src: str, dst: str, message: Message,
+                       fault: Optional[LinkFault]) -> float:
+        delay = self._latency_for(src, dst).sample(self.rng, message.size_bytes())
+        if fault is not None:
+            delay += fault.extra_latency
+            if fault.reorder_jitter > 0:
+                delay += self.rng.uniform(0.0, fault.reorder_jitter)
+        return delay
 
     def broadcast(self, src: str, kind: str, payload: Any,
                   exclude: set[str] | None = None) -> int:

@@ -7,12 +7,12 @@ sharing).  This package provides:
 - :mod:`repro.workload.generator` — seeded access-request generators with
   Zipf-skewed subject/resource popularity and Poisson arrivals (optionally
   diurnal: a sinusoidal arrival curve for the autoscaling experiments),
-- :mod:`repro.workload.scenarios` — nine concrete federation scenarios
+- :mod:`repro.workload.scenarios` — ten concrete federation scenarios
   (cross-border healthcare; ministry data sharing; high-fan-out IoT/edge;
   cross-cloud delegation; audit-burst compliance logging; federation-scale
   service sharing; mid-traffic policy churn; elastic-scale flash crowd;
-  diurnal municipal e-services), each with its policy set, population and
-  expected decision mix.
+  diurnal municipal e-services; partition-storm emergency management),
+  each with its policy set, population and expected decision mix.
 """
 
 from repro.workload.generator import WorkloadConfig, RequestGenerator, GeneratedRequest
@@ -28,6 +28,7 @@ from repro.workload.scenarios import (
     healthcare_scenario,
     iot_edge_scenario,
     ministry_scenario,
+    partition_storm_scenario,
     policy_churn_scenario,
 )
 
@@ -46,5 +47,6 @@ __all__ = [
     "healthcare_scenario",
     "iot_edge_scenario",
     "ministry_scenario",
+    "partition_storm_scenario",
     "policy_churn_scenario",
 ]

@@ -63,6 +63,18 @@ A ninth scenario exercises the *self-driving* decision plane (E14):
   controller that drains shards into the trough serves the same
   decisions with fewer shard-seconds.
 
+A tenth scenario is the substrate of the *fault-injection plane* (E15):
+
+- :func:`partition_storm_scenario` — an emergency-management federation
+  whose traffic must keep resolving while the network is actively
+  hostile: steady, read-heavy arrivals (the continuity-of-operations
+  baseline), two tenants with home-write gating (so failover across the
+  federation boundary is observable), and audit obligations on the
+  incident log (so every decision leaves a monitored trace that fault
+  windows must not corrupt).  Designed to be run under a
+  ``repro.faults.FaultPlan`` — partitions, crash/restart, link loss —
+  with DRAMS attached and zero unattributed alerts as the bar.
+
 Each scenario packages the policy (object + document form), a workload
 configuration matched to its population, and the attribute domains used by
 the formal property checks.  :func:`all_scenarios` returns one instance of
@@ -994,6 +1006,106 @@ def diurnal_scenario() -> Scenario:
     )
 
 
+#: Service classes of the emergency-management federation: class →
+#: (reader roles, writer roles).  The incident log is the audited,
+#: monitored heart of the exercise; the rest is continuity-of-operations
+#: traffic that must keep flowing through the storm.
+_STORM_SERVICE_CLASSES: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "incident-log": (("operator", "commander", "liaison"), ("operator",)),
+    "resource-roster": (("operator", "commander"), ("commander",)),
+    "situation-map": (("operator", "commander", "liaison"), ("feed-bot",)),
+    "comms-directory": (("operator", "commander", "liaison"), ("commander",)),
+    "mutual-aid-requests": (("commander", "liaison"), ("liaison",)),
+    "status-heartbeats": (("operator", "commander"), ("feed-bot",)),
+}
+
+#: Classes whose Permit carries an audit obligation — their decisions
+#: must survive, attributably, whatever the fault plan does.
+_STORM_AUDITED_CLASSES = ("incident-log", "mutual-aid-requests")
+
+
+def partition_storm_scenario() -> Scenario:
+    """Emergency management under network fire: the fault plane's substrate.
+
+    Everything here is tuned for *differential* observability under a
+    :class:`~repro.faults.plan.FaultPlan`, not for raw load:
+
+    - the arrival rate (150/s) is modest on purpose — the interesting
+      number is how many decisions a partition or crash *loses or
+      re-routes*, which a saturated plane would drown in queueing noise;
+    - reads dominate (85%) and every role can read the situation map and
+      comms directory, so a PEP that fails over to a remote shard still
+      has work that must Permit — re-routing is visible as re-routing,
+      not as a wall of Denies;
+    - writes are home-tenant-gated, so when a partition severs a tenant
+      from its nearest shard the failover decisions exercise the *same*
+      policy branches and must stay bit-identical to the calm run;
+    - the audited classes put Permit-obligations on the incident log and
+      mutual-aid paperwork, which makes each such decision a monitored
+      transaction — the DRAMS contract either survives the fault window
+      cleanly or produces exactly attributable alerts, never noise.
+    """
+    policies = []
+    for service_class, (readers, writers) in _STORM_SERVICE_CLASSES.items():
+        obligations = []
+        if service_class in _STORM_AUDITED_CLASSES:
+            obligations.append(Obligation(
+                f"audit-{service_class}", "Permit",
+                {"reason": "emergency-operations accountability record"}))
+        policies.append(Policy(
+            policy_id=f"em-{service_class}",
+            rule_combining="permit-overrides",
+            target=Target.single("string-equal", service_class, "resource", "type"),
+            rules=[
+                Rule(f"{service_class}-read", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", readers),
+                     condition=_action_is("read")),
+                Rule(f"{service_class}-home-write", Effect.PERMIT,
+                     target=_disjunction_target("subject", "role", writers),
+                     condition=Apply("and", (_action_is("write"),
+                                             _home_tenant()))),
+            ],
+            obligations=obligations,
+            description=f"{service_class}: read {readers}, home-write {writers}.",
+        ))
+
+    root = PolicySet(
+        policy_set_id="partition-storm",
+        policy_combining="deny-unless-permit",
+        children=policies,
+        description="Emergency-management service classes; default deny.",
+    )
+
+    roles = ("operator", "commander", "liaison", "feed-bot")
+    domain = AttributeDomain()
+    domain.declare("subject", "role", list(roles))
+    domain.declare("action", "action-id", ["read", "write"])
+    domain.declare("resource", "type", list(_STORM_SERVICE_CLASSES))
+    domain.declare("resource", "owner-tenant", ["tenant-1", "tenant-2"])
+    domain.declare("environment", "origin-tenant", ["tenant-1", "tenant-2"])
+
+    workload = WorkloadConfig(
+        subjects=200,
+        resources=600,
+        roles=roles,
+        role_weights=(0.5, 0.2, 0.15, 0.15),
+        resource_types=tuple(_STORM_SERVICE_CLASSES),
+        actions=("read", "write"),
+        action_weights=(0.85, 0.15),
+        zipf_skew=1.1,
+        arrival_rate=150.0,
+    )
+    return Scenario(
+        name="partition-storm",
+        policy_document=policy_to_dict(root),
+        workload=workload,
+        domain=domain,
+        description="An emergency-management federation that must keep "
+                    "resolving access decisions while a scripted fault plan "
+                    "partitions, crashes and degrades the substrate.",
+    )
+
+
 def all_scenarios() -> list[Scenario]:
     """One instance of every shipped scenario, in a stable order."""
     return [factory() for factory in SCENARIO_FACTORIES]
@@ -1009,4 +1121,5 @@ SCENARIO_FACTORIES = (
     policy_churn_scenario,
     elastic_scale_scenario,
     diurnal_scenario,
+    partition_storm_scenario,
 )

@@ -397,8 +397,8 @@ class TestGossipLoadView:
 class TestDiurnalWorkload:
     def test_diurnal_scenario_registered_ninth(self):
         names = [factory().name for factory in SCENARIO_FACTORIES]
-        assert names[-1] == "diurnal"
-        assert len(names) == 9
+        assert names[8] == "diurnal"
+        assert len(names) >= 9
 
     def test_rate_curve_peaks_and_troughs(self):
         from repro.common.rng import SeededRng

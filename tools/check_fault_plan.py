@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate the FaultPlan JSON examples embedded in the documentation.
+
+Scans ``README.md``, the top-level ``*.md`` siblings and everything
+under ``docs/`` for fenced ```` ```json ```` blocks whose payload has an
+``"events"`` key, and round-trips each one through
+:meth:`repro.faults.FaultPlan.from_dict`.  A documentation example that
+drifts from the DSL (a renamed field, a new validation rule, a stale
+kind) fails the lint instead of silently rotting.
+
+Exit status: 0 when every embedded plan validates, 1 otherwise (each
+failure is listed as ``file:line: error``).  Needs the package on the
+path:
+
+    PYTHONPATH=src python tools/check_fault_plan.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.faults import FaultPlan  # noqa: E402
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return files
+
+
+def json_blocks(path: Path) -> list[tuple[int, str]]:
+    """Return ``(start_line, payload)`` for each fenced ```json block."""
+    blocks: list[tuple[int, str]] = []
+    lines = path.read_text().splitlines()
+    inside = False
+    start = 0
+    chunk: list[str] = []
+    for line_number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if not inside and stripped == "```json":
+            inside = True
+            start = line_number
+            chunk = []
+        elif inside and stripped == "```":
+            inside = False
+            blocks.append((start, "\n".join(chunk)))
+        elif inside:
+            chunk.append(line)
+    return blocks
+
+
+def check_file(path: Path) -> tuple[int, int]:
+    """Validate each plan-shaped JSON block; return (checked, failed)."""
+    checked = 0
+    failed = 0
+    for start, payload in json_blocks(path):
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            checked += 1
+            failed += 1
+            print(f"{path.relative_to(REPO_ROOT)}:{start}: invalid JSON: {exc}")
+            continue
+        if not isinstance(data, dict) or "events" not in data:
+            continue  # JSON example, but not a FaultPlan
+        checked += 1
+        try:
+            plan = FaultPlan.from_dict(data)
+        except Exception as exc:  # noqa: BLE001 - report any validation error
+            failed += 1
+            print(f"{path.relative_to(REPO_ROOT)}:{start}: invalid FaultPlan: {exc}")
+            continue
+        if plan.to_dict() != data:
+            failed += 1
+            print(
+                f"{path.relative_to(REPO_ROOT)}:{start}: plan does not "
+                "round-trip (non-canonical fields or defaults spelled out)"
+            )
+    return checked, failed
+
+
+def main() -> int:
+    checked = 0
+    failed = 0
+    for path in markdown_files():
+        file_checked, file_failed = check_file(path)
+        checked += file_checked
+        failed += file_failed
+    if failed:
+        print(f"\n{failed} invalid FaultPlan example(s) out of {checked}")
+        return 1
+    print(f"ok: {checked} embedded FaultPlan example(s) validate")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
