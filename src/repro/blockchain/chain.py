@@ -20,6 +20,7 @@ from typing import Any, Callable, Optional
 from repro.common.errors import ValidationError
 from repro.common.fastpath import FLAGS
 from repro.crypto.hashing import hash_value
+from repro.crypto.merkle import MerkleProof, MerkleTree
 from repro.crypto.signatures import SigningKey, VerifyingKey
 from repro.blockchain.block import Block, BlockHeader, make_genesis
 from repro.blockchain.config import BlockchainConfig
@@ -71,6 +72,9 @@ class Blockchain:
     """
 
     SNAPSHOT_INTERVAL = 25
+    #: Per-block Merkle trees memoised for proof service; receipts cluster
+    #: on recent blocks, so a handful of trees covers nearly every request.
+    PROOF_TREE_CACHE = 32
     #: Verified-set entries kept before a cache resets.  A reset is always
     #: safe — the next validation simply re-verifies — so this just bounds
     #: memory on very long runs (cf. the LRU bound on the decision cache).
@@ -90,12 +94,19 @@ class Blockchain:
         self._total_work: dict[str, float] = {self.genesis.hash: 0.0}
         self._head_hash: str = self.genesis.hash
         self._applied_branch: list[str] = [self.genesis.hash]
+        # Blocks whose state is currently applied, kept in sync *during*
+        # head switches (``_head_hash`` only moves at the end of one).
+        # Confirmation queries from contract-event subscribers fire
+        # mid-replay, so they must read this view, not the stale head.
+        self._applied_heights: dict[str, int] = {self.genesis.hash: 0}
+        self._applied_tip_height: int = 0
         self._tx_locations: dict[str, TxLocation] = {}
         self._sender_seqs: dict[str, set[int]] = {}
         self._subscribers: list[EventSubscriber] = []
         self._difficulty_cache: dict[str, float] = {self.genesis.hash: config.difficulty_bits}
         self._snapshots: dict[str, _Snapshot] = {}
         self._orphaned_txs: dict[str, Transaction] = {}
+        self._proof_trees: dict[str, MerkleTree] = {}
         # Once-per-node verification caches (fast path): a signature or a
         # block body is cryptographically checked at most once per chain
         # replica, however many admission checks, block validations or
@@ -140,15 +151,67 @@ class Blockchain:
         """Main-chain location of a transaction, if included."""
         return self._tx_locations.get(tx_id)
 
-    def confirmations(self, tx_id: str) -> int:
-        """Blocks on top of (and including) the tx's block; 0 if unconfirmed."""
+    def inclusion_proof(self, tx_id: str) -> Optional[MerkleProof]:
+        """Merkle proof that ``tx_id`` is in its main-chain block's body.
+
+        The proof's leaf is the transaction's content hash (the commitment
+        block headers carry), so a light client holding only the block
+        header can check membership in O(log block-size) hashes.  Returns
+        None for unknown or orphaned transactions.  Proof trees are
+        memoised per block — serving many receipts from one block builds
+        the tree once.
+        """
         location = self._tx_locations.get(tx_id)
-        if location is None:
+        if location is None or location.block_hash not in self._applied_heights:
+            return None
+        block = self._blocks[location.block_hash]
+        tree = self._proof_trees.get(location.block_hash)
+        if tree is None:
+            tree = MerkleTree([tx.content_hash() for tx in block.transactions])
+            if len(self._proof_trees) >= self.PROOF_TREE_CACHE:
+                self._proof_trees.clear()
+            self._proof_trees[location.block_hash] = tree
+        for index, tx in enumerate(block.transactions):
+            if tx.tx_id == tx_id:
+                return tree.proof(index)
+        return None
+
+    def confirmations(self, tx_id: str) -> int:
+        """Blocks on top of (and including) the tx's block; 0 if unconfirmed.
+
+        A transaction whose block was orphaned by a reorg (and that has not
+        been re-included on the winning branch) reports 0, and queries made
+        while a reorg is still replaying count from the applied tip rather
+        than the not-yet-updated head, so subscribers never see phantom
+        confirmations.
+        """
+        location = self._tx_locations.get(tx_id)
+        if location is None or location.block_hash not in self._applied_heights:
             return 0
-        return self.height - location.height + 1
+        return self._applied_tip_height - location.height + 1
 
     def is_final(self, tx_id: str) -> bool:
         return self.confirmations(tx_id) >= self.config.confirmations
+
+    def headers_after(self, locator: list[str], limit: int) -> list[BlockHeader]:
+        """Main-chain headers following the best locator match.
+
+        ``locator`` lists block hashes the requester already holds, newest
+        first (light clients space them exponentially, Bitcoin-style); the
+        reply starts just above the first one found on the main chain, or
+        just above genesis when none match — the requester may sit on a
+        branch we reorged away from, but it always holds genesis (it can
+        reconstruct it from the chain config alone).
+        """
+        start = 1
+        for block_hash in locator:
+            height = self._applied_heights.get(block_hash)
+            if (height is not None and height < len(self._applied_branch)
+                    and self._applied_branch[height] == block_hash):
+                start = height + 1
+                break
+        chunk = self._applied_branch[start:start + max(0, limit)]
+        return [self._blocks[block_hash].header for block_hash in chunk]
 
     def subscribe_events(self, subscriber: EventSubscriber) -> None:
         """Receive contract events as their blocks are applied to the head."""
@@ -327,6 +390,13 @@ class Blockchain:
             self.engine.load_state(snapshot.engine_state)
             self._sender_seqs = {k: set(v) for k, v in snapshot.sender_seqs.items()}
             self._tx_locations = dict(snapshot.tx_locations)
+            # Rewind the applied view to the restore point before replay so
+            # losing-branch blocks stop counting as confirmed immediately.
+            self._applied_heights = {
+                block_hash: height
+                for height, block_hash in enumerate(new_branch[: restore_index + 1])
+            }
+            self._applied_tip_height = restore_index
             for block_hash in new_branch[restore_index + 1:]:
                 self._apply_block(self._blocks[block_hash])
             self._applied_branch = new_branch
@@ -353,6 +423,8 @@ class Blockchain:
     def _apply_block(self, block: Block) -> None:
         if block.height > 0 and block.height % self.SNAPSHOT_INTERVAL == 0:
             self._take_snapshot(block.header.prev_hash, block.height - 1)
+        self._applied_heights[block.hash] = block.height
+        self._applied_tip_height = block.height
         for tx in block.transactions:
             used = self._sender_seqs.setdefault(tx.sender, set())
             if tx.seq in used:

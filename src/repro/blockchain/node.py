@@ -66,6 +66,14 @@ class BlockchainNode(Host):
         self.resyncs = 0
         self._syncing = False
         self._sync_target: Optional[str] = None
+        #: Light-client proof service.  Requests may name a transaction
+        #: directly or carry application-level coordinates (e.g. a DRAMS
+        #: ``correlation_id``/``entry_type`` pair); the optional resolver —
+        #: installed by whoever deploys contracts on this chain — maps the
+        #: latter onto a tx id without the node knowing contract schemas.
+        self.tx_resolver: Optional[Callable[[dict], Optional[str]]] = None
+        self.proofs_served = 0
+        self.header_syncs_served = 0
 
     # -- wiring -------------------------------------------------------------
 
@@ -168,6 +176,10 @@ class BlockchainNode(Host):
             self._handle_head_request(message)
         elif message.kind == "bc_head":
             self._handle_head(message)
+        elif message.kind == "bc_header_sync":
+            self._handle_header_sync(message)
+        elif message.kind == "bc_proof_request":
+            self._handle_proof_request(message)
 
     def _handle_tx(self, message: Message) -> None:
         tx = Transaction.from_dict(message.payload)
@@ -229,6 +241,58 @@ class BlockchainNode(Host):
         if head_hash not in self._requested_parents:
             self._requested_parents.add(head_hash)
             self.send(message.src, "bc_block_request", {"hash": head_hash})
+
+    # -- light-client service --------------------------------------------------
+
+    def _handle_header_sync(self, message: Message) -> None:
+        """Serve a light client's locator with main-chain headers.
+
+        The reply carries the headers above the highest locator hash still
+        on our main chain plus our tip coordinates, so the client knows
+        whether another round is needed (``limit`` bounds each reply).
+        """
+        locator = [str(h) for h in message.payload.get("locator", [])]
+        limit = int(message.payload.get("limit", 64))
+        headers = self.chain.headers_after(locator, max(1, min(limit, 512)))
+        self.header_syncs_served += 1
+        # The reply id is derived from the request id: light-client service
+        # traffic must not advance the global id counter (see Host.send).
+        self.send(message.src, "bc_headers", {
+            "headers": [header.to_dict() for header in headers],
+            "tip_hash": self.chain.head.hash,
+            "tip_height": self.chain.height,
+        }, msg_id=f"{message.msg_id}#headers")
+
+    def _handle_proof_request(self, message: Message) -> None:
+        """Serve an inclusion proof (plus the proven transaction).
+
+        The client re-derives everything it trusts — the reply is pure
+        evidence: the transaction bytes, the Merkle path binding them into
+        a block body, and that block's header coordinates.  A request the
+        node cannot resolve gets ``found: False`` with the request echo so
+        the client can stop waiting.
+        """
+        payload = message.payload
+        reply: dict = {"request_id": payload.get("request_id"), "found": False}
+        tx_id = payload.get("tx_id")
+        if not tx_id and self.tx_resolver is not None:
+            tx_id = self.tx_resolver(payload)
+        location = self.chain.tx_location(tx_id) if tx_id else None
+        proof = self.chain.inclusion_proof(tx_id) if tx_id else None
+        if location is not None and proof is not None:
+            block = self.chain.get_block(location.block_hash)
+            for tx in block.transactions:
+                if tx.tx_id == tx_id:
+                    reply.update({
+                        "found": True,
+                        "tx": tx.to_dict(),
+                        "proof": proof.to_dict(),
+                        "tree_size": len(block.transactions),
+                        "header": block.header.to_dict(),
+                    })
+                    self.proofs_served += 1
+                    break
+        self.send(message.src, "bc_proof", reply, msg_id=f"{message.msg_id}#proof")
 
     def _finish_sync(self) -> None:
         self._syncing = False

@@ -26,6 +26,13 @@ def leaf_hash(data: str) -> str:
     return sha256_hex((_LEAF_PREFIX + data).encode())
 
 
+def tree_depth(size: int) -> int:
+    """Path length of every proof in a tree over ``size`` leaves."""
+    if size <= 1:
+        return 0
+    return (size - 1).bit_length()
+
+
 @dataclass(frozen=True)
 class MerkleProof:
     """Sibling path from a leaf to the root.
@@ -37,15 +44,51 @@ class MerkleProof:
     leaf: str
     path: tuple[tuple[str, bool], ...]
 
-    def verify(self, root: str) -> bool:
-        """Recompute the root from the leaf along the path and compare."""
+    def verify(self, root: str, tree_size: int | None = None) -> bool:
+        """Recompute the root from the leaf along the path and compare.
+
+        ``leaf_index`` is bound into verification: at every level the
+        sibling side must match the index's parity, and the index must fit
+        the path length.  Odd levels duplicate their tail, so without this
+        binding the last leaf of an odd-length level verifies at two
+        distinct indexes (its own and the phantom duplicate's) — receipts
+        could then claim a position that does not exist.  Passing
+        ``tree_size`` additionally pins the path length to the tree's
+        depth and rejects indexes past the real leaf count.
+        """
+        if self.leaf_index < 0 or self.leaf_index >= 1 << len(self.path):
+            return False
+        if tree_size is not None:
+            if tree_size <= 0 or self.leaf_index >= tree_size:
+                return False
+            if len(self.path) != tree_depth(tree_size):
+                return False
         current = leaf_hash(self.leaf)
+        position = self.leaf_index
         for sibling, sibling_is_right in self.path:
+            if sibling_is_right != (position % 2 == 0):
+                return False
             if sibling_is_right:
                 current = hash_pair(current, sibling)
             else:
                 current = hash_pair(sibling, current)
+            position //= 2
         return current == root
+
+    def to_dict(self) -> dict:
+        return {
+            "leaf_index": self.leaf_index,
+            "leaf": self.leaf,
+            "path": [[sibling, is_right] for sibling, is_right in self.path],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MerkleProof":
+        return cls(
+            leaf_index=int(data["leaf_index"]),
+            leaf=data["leaf"],
+            path=tuple((sibling, bool(is_right)) for sibling, is_right in data["path"]),
+        )
 
 
 class MerkleTree:

@@ -187,8 +187,21 @@ class Analyser(Host):
         correlation_id = event.payload["correlation_id"]
         if correlation_id in self._verified:
             return
+        if not self._admit(correlation_id):
+            return
         self._pending[correlation_id] = None
         self._check_decision(correlation_id)
+
+    def _admit(self, correlation_id: str) -> bool:
+        """Audit-admission hook, called once per checkable contract event.
+
+        The exhaustive Analyser audits every correlation.  Sampling
+        subclasses (:class:`repro.lightclient.sampling.SamplingAnalyser`)
+        override this with a deterministic seeded predicate, trading
+        per-decision audit cost for a closed-form detection bound.  Churn
+        claims are never sampled — they are alert-driven and rare.
+        """
+        return True
 
     def _decrypt_entry(self, entry: Optional[dict]) -> Optional[dict]:
         if entry is None or "ciphertext" not in entry:

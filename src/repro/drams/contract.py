@@ -218,6 +218,10 @@ class MonitorContract(Contract):
             "tenant": tenant,
             "component": component,
             "height": ctx.block_height,
+            # The carrying transaction, so proof services can answer
+            # "prove my (correlation, entry-type) is on-chain" without a
+            # linear chain scan.
+            "tx_id": ctx.tx_id,
         }
         if "observed_at" in args:
             entry["observed_at"] = args["observed_at"]

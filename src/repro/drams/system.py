@@ -83,6 +83,17 @@ class DramsConfig:
     # Ablation knobs (see DESIGN.md section 5); keep defaults in production.
     expected_entries: tuple = EntryType.ALL
     enable_leg_matching: bool = True
+    # Analyser mode: "full" audits every correlation (the paper's
+    # exhaustive checker); "sampling" deploys a
+    # :class:`repro.lightclient.sampling.SamplingAnalyser` that audits a
+    # seeded hash-fraction with a closed-form detection bound.
+    analyser_mode: str = "full"
+    sample_rate: float = 0.1
+    sample_seed: "int | str" = 0
+    # Light-client cadence (attach_light_clients): header-sync and
+    # receipt-sweep periods in simulated seconds.
+    light_sync_interval: float = 0.5
+    light_sweep_interval: float = 1.0
 
     def __post_init__(self) -> None:
         if self.timeout_blocks < 1:
@@ -93,6 +104,14 @@ class DramsConfig:
             raise ValidationError("policy_staleness_bound must be >= 0")
         if self.unknown_policy_grace < 0:
             raise ValidationError("unknown_policy_grace must be >= 0")
+        if self.analyser_mode not in ("full", "sampling"):
+            raise ValidationError(
+                f"analyser_mode must be 'full' or 'sampling', got {self.analyser_mode!r}")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValidationError(
+                f"sample_rate must be in (0, 1], got {self.sample_rate}")
+        if self.light_sync_interval <= 0 or self.light_sweep_interval <= 0:
+            raise ValidationError("light-client intervals must be positive")
 
 
 class DramsSystem:
@@ -134,6 +153,11 @@ class DramsSystem:
         self.expected_pcrs: dict[str, str] = {}
         self.probes: dict[str, ProbeAgent] = {}
         self.analyser: Optional[Analyser] = None
+        #: Light-client plane (attach_light_clients): per-tenant header
+        #: clients and receipt-auditing consumers.  Sideband by design —
+        #: attaching them leaves the monitored system bit-identical.
+        self.header_clients: dict[str, "HeaderClient"] = {}
+        self.light_clients: dict[str, "LightProbeConsumer"] = {}
         self._keys: dict[str, VerifyingKey] = {}
         self._signing: dict[str, SigningKey] = {}
         self._stoppers: list[Callable[[], None]] = []
@@ -206,14 +230,31 @@ class DramsSystem:
             registry, self.federation.rng, key_lookup=self._key_lookup,
             signing_key=analyser_node_key, hashrate=self.config.node_hashrate)
         infra.register_host(analyser_node_address)
-        self.analyser = Analyser(
-            self.federation.network, analyser_address, analyser_node,
+        analyser_kwargs = dict(
             signing_key=analyser_key, federation_key=self.federation_key,
             prp=self.policy_plane.retrieval_point_for("analyser"),
             policy_staleness_bound=self.config.policy_staleness_bound,
             unknown_policy_grace=self.config.unknown_policy_grace)
+        if self.config.analyser_mode == "sampling":
+            from repro.lightclient.sampling import SamplingAnalyser
+
+            self.analyser = SamplingAnalyser(
+                self.federation.network, analyser_address, analyser_node,
+                sample_rate=self.config.sample_rate,
+                sample_seed=self.config.sample_seed, **analyser_kwargs)
+        else:
+            self.analyser = Analyser(
+                self.federation.network, analyser_address, analyser_node,
+                **analyser_kwargs)
         infra.register_host(analyser_address)
         self.nodes["__analyser__"] = analyser_node
+
+        # Every node serves light-client proof requests addressed by
+        # monitor-contract coordinates (correlation id + entry type).
+        from repro.lightclient.receipts import monitor_tx_resolver
+
+        for node in self.nodes.values():
+            node.tx_resolver = monitor_tx_resolver(node.chain)
 
         # Full-mesh gossip between all nodes.
         node_addresses = [node.address for node in self.nodes.values()]
@@ -241,6 +282,66 @@ class DramsSystem:
         self.plane.on_membership(self._track_plane_membership)
 
         self.federation.finalize_topology()
+
+    def attach_light_clients(self, tenants: Optional[list[str]] = None,
+                             min_confirmations: Optional[int] = None) -> dict:
+        """Attach per-tenant light auditors (header client + receipt consumer).
+
+        Each named member tenant gets a :class:`HeaderClient` syncing
+        headers from the tenant's own blockchain node and a
+        :class:`LightProbeConsumer` fetching and verifying a decision
+        receipt for every access its PEP enforces.  Both are *sideband*
+        hosts: they are not registered with any tenant (so topology
+        finalisation never re-profiles their links), their links are
+        RNG-free constant-latency pairs, and their message ids come from
+        namespaced local counters — attaching them leaves the monitored
+        system's decisions, alerts and chain bit-identical.
+
+        Safe to call before or after :meth:`start`; returns the consumer
+        map.  Idempotent per tenant.
+        """
+        from repro.lightclient.consumer import LightProbeConsumer
+        from repro.lightclient.headers import HeaderClient
+        from repro.lightclient.sideband import sideband_link
+
+        names = (list(tenants) if tenants is not None
+                 else [t.name for t in self.federation.member_tenants])
+        depth = (min_confirmations if min_confirmations is not None
+                 else self.config.chain.confirmations)
+        network = self.federation.network
+        for tenant_name in names:
+            if tenant_name in self.light_clients:
+                continue
+            pep = self.peps.get(tenant_name)
+            if pep is None:
+                raise ValidationError(
+                    f"no PEP to audit for tenant {tenant_name!r}")
+            server = self.nodes[tenant_name].address
+            header_client = HeaderClient(
+                network, f"lc-headers@{tenant_name}", self.config.chain, server)
+            consumer = LightProbeConsumer(
+                network, f"lc-audit@{tenant_name}", header_client, server,
+                federation_key=self.federation_key, min_confirmations=depth)
+            sideband_link(network, header_client.address, server)
+            sideband_link(network, consumer.address, server)
+            consumer.attach_pep(pep)
+            self.header_clients[tenant_name] = header_client
+            self.light_clients[tenant_name] = consumer
+            if self._started:
+                self._arm_light_client(tenant_name)
+        return dict(self.light_clients)
+
+    def _arm_light_client(self, tenant_name: str) -> None:
+        sim = self.federation.sim
+        header_client = self.header_clients[tenant_name]
+        consumer = self.light_clients[tenant_name]
+        # No jitter: jitter callbacks would draw from a shared RNG stream.
+        self._stoppers.append(sim.every(
+            self.config.light_sync_interval, header_client.sync,
+            label=f"lc-sync:{tenant_name}"))
+        self._stoppers.append(sim.every(
+            self.config.light_sweep_interval, consumer.sweep,
+            label=f"lc-sweep:{tenant_name}"))
 
     def _track_plane_membership(self, event: str, service: PdpService) -> None:
         if event in ("added", "restarted") and service not in self.pdp_services:
@@ -279,6 +380,8 @@ class DramsSystem:
             self._stoppers.append(sim.every(
                 self.config.attestation_interval, self.run_attestation_round,
                 label="tpm-attestation"))
+        for tenant_name in self.light_clients:
+            self._arm_light_client(tenant_name)
 
     def stop(self) -> None:
         for stopper in self._stoppers:
@@ -334,7 +437,7 @@ class DramsSystem:
     def stats(self) -> dict:
         state = self.monitor_state()
         chain = self.reference_chain()
-        return {
+        out = {
             "chain_height": chain.height,
             "reorgs": chain.reorgs,
             "monitor": dict(state["stats"]),
@@ -349,3 +452,11 @@ class DramsSystem:
                 "distribution": self.policy_plane.describe(),
             },
         }
+        if self.light_clients:
+            out["light_clients"] = {
+                name: consumer.stats()
+                for name, consumer in self.light_clients.items()}
+        sampling_stats = getattr(self.analyser, "sampling_stats", None)
+        if callable(sampling_stats):
+            out["sampling"] = sampling_stats()
+        return out

@@ -85,6 +85,7 @@ class MonitoredFederation:
         policy_plane: "Optional[PolicyDistributionPlane | PolicyRetrievalPoint]" = None,
         autoscaler: Optional[AutoscaleController] = None,
         pep_kwargs: Optional[dict] = None,
+        light_clients: "bool | list[str]" = False,
     ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
@@ -100,6 +101,12 @@ class MonitoredFederation:
         deployed :class:`PolicyEnforcementPoint` — the fault benchmarks
         use it to shorten ``request_timeout`` and install a
         ``RetryBackoff`` without changing the default topology.
+        ``light_clients=True`` attaches a sideband light auditor (header
+        client + receipt consumer, see :mod:`repro.lightclient`) to every
+        member tenant's PEP — or to a named subset when given a list.
+        Requires ``with_drams``; attaching the auditors leaves the
+        monitored system bit-identical (the E16 differential arm pins
+        this).
         """
         fed_config = federation_config or FederationConfig(
             name=f"faas-{scenario.name}", cloud_count=clouds, seed=seed
@@ -139,6 +146,11 @@ class MonitoredFederation:
         if with_drams:
             drams = DramsSystem(federation, policy_plane, plane, peps,
                                 drams_config or DramsConfig())
+            if light_clients:
+                drams.attach_light_clients(
+                    None if light_clients is True else list(light_clients))
+        elif light_clients:
+            raise ValidationError("light_clients requires with_drams=True")
         else:
             federation.finalize_topology()
         return cls(
@@ -169,6 +181,11 @@ class MonitoredFederation:
     def pdp_services(self) -> list[PdpService]:
         """Every evaluator replica behind the plane."""
         return self.plane.services
+
+    @property
+    def light_clients(self) -> dict:
+        """Attached light auditors by tenant name (empty without DRAMS)."""
+        return self.drams.light_clients if self.drams is not None else {}
 
     def start(self) -> None:
         if self.drams is not None:

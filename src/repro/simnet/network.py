@@ -136,9 +136,18 @@ class Host:
         """This host's possibly-skewed view of the current time."""
         return self.sim.now + self.clock_offset
 
-    def send(self, dst: str, kind: str, payload: Any) -> Optional[Message]:
-        """Send a message; returns it, or None if it was dropped/partitioned."""
-        return self.network.send(self.address, dst, kind, payload)
+    def send(self, dst: str, kind: str, payload: Any,
+             msg_id: Optional[str] = None) -> Optional[Message]:
+        """Send a message; returns it, or None if it was dropped/partitioned.
+
+        ``msg_id`` overrides the minted message id.  Sideband components
+        (light clients and the services answering them) supply their own
+        namespaced ids so their traffic does not advance the global id
+        counter — minted ids feed transaction identity, so differential
+        experiments require the primary stack's id sequence to be
+        byte-identical with and without observers attached.
+        """
+        return self.network.send(self.address, dst, kind, payload, msg_id=msg_id)
 
     def receive(self, message: Message) -> None:  # pragma: no cover - interface
         raise NotImplementedError(f"{type(self).__name__} must implement receive()")
@@ -276,11 +285,16 @@ class Network:
     def _latency_for(self, src: str, dst: str) -> LatencyModel:
         return self._latency_overrides.get((src, dst), self.default_latency)
 
-    def send(self, src: str, dst: str, kind: str, payload: Any) -> Optional[Message]:
+    def send(self, src: str, dst: str, kind: str, payload: Any,
+             msg_id: Optional[str] = None) -> Optional[Message]:
         if src not in self._hosts:
             raise NetworkError(f"unknown source host: {src}")
-        message = Message(src=src, dst=dst, kind=kind, payload=payload,
-                          sent_at=self.sim.now)
+        if msg_id is None:
+            message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                              sent_at=self.sim.now)
+        else:
+            message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                              msg_id=msg_id, sent_at=self.sim.now)
         self.stats.sent += 1
         self.stats.bytes_sent += message.size_bytes()
         for tap in self._taps:

@@ -1044,6 +1044,11 @@ def partition_storm_scenario() -> Scenario:
       mutual-aid paperwork, which makes each such decision a monitored
       transaction — the DRAMS contract either survives the fault window
       cleanly or produces exactly attributable alerts, never noise.
+
+    E16's chaos arm reuses the same scenario + storm plan with light
+    auditors attached: every enforced decision's receipt must survive
+    the partitions and crashes (parked/refetched, never rejected), so
+    the storm doubles as the light-client recovery fixture.
     """
     policies = []
     for service_class, (readers, writers) in _STORM_SERVICE_CLASSES.items():

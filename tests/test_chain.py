@@ -290,6 +290,114 @@ class TestForkChoice:
             assert chain.tx_location(tx.tx_id) is not None
 
 
+class TestConfirmationsAcrossReorgs:
+    fork = TestForkChoice.fork
+
+    def test_orphaned_tx_reports_zero_confirmations(self):
+        chain = make_chain()
+        genesis = chain.head
+        tx = put_tx(1, "orphan-me", 1)
+        a1 = self.fork(chain, genesis, txs=[tx])
+        chain.add_block(a1)
+        assert chain.confirmations(tx.tx_id) == 1
+        b1 = self.fork(chain, genesis, timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1)
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+        # The tx's block is off the applied branch now: no confirmations,
+        # never final — regardless of any stale height bookkeeping.
+        assert chain.confirmations(tx.tx_id) == 0
+        assert not chain.is_final(tx.tx_id)
+
+    def test_confirmations_consistent_for_mid_reorg_subscribers(self):
+        chain = make_chain(confirmations=1)
+        genesis = chain.head
+        shared = put_tx(1, "shared", 1)
+        a1 = self.fork(chain, genesis, txs=[shared])
+        chain.add_block(a1)
+        seen = []
+
+        def on_event(event, block_hash):
+            # Fires during replay of the winning branch; confirmations
+            # must reflect the branch as applied so far, not the stale
+            # pre-reorg head height.
+            seen.append((event.name, chain.confirmations(shared.tx_id)))
+
+        chain.subscribe_events(on_event)
+        b1 = self.fork(chain, genesis, txs=[shared], timestamp=1.5)
+        chain.add_block(b1)
+        b2 = self.fork(chain, b1, txs=[put_tx(2, "later", 2)])
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+        # The shared tx sat at height 1 when its Put replayed (1 conf),
+        # and the height-2 block's event saw it one deeper.
+        assert ("Put", 1) in seen
+        assert ("Put", 2) in seen
+        assert chain.confirmations(shared.tx_id) == 2
+
+
+class TestInclusionProofs:
+    def test_proof_round_trip(self):
+        chain = make_chain()
+        txs = [put_tx(i, f"k{i}", i) for i in range(1, 6)]
+        extend(chain, txs)
+        for tx in txs:
+            proof, tree_size, header = (chain.inclusion_proof(tx.tx_id),
+                                        len(txs), chain.head.header)
+            assert proof is not None
+            assert proof.leaf == tx.content_hash()
+            assert proof.verify(header.merkle_root, tree_size=tree_size)
+
+    def test_unknown_tx_has_no_proof(self):
+        chain = make_chain()
+        extend(chain, [put_tx(1)])
+        assert chain.inclusion_proof("tx-nope") is None
+
+    def test_orphaned_tx_has_no_proof(self):
+        chain = make_chain()
+        genesis = chain.head
+        tx = put_tx(1, "orphan-me", 1)
+        fork = TestForkChoice.fork.__get__(self)
+        chain.add_block(fork(chain, genesis, txs=[tx]))
+        b1 = fork(chain, genesis, timestamp=1.5)
+        chain.add_block(b1)
+        b2 = fork(chain, b1)
+        chain.add_block(b2)
+        assert chain.head.hash == b2.hash
+        assert chain.tx_location(tx.tx_id) is None
+        assert chain.inclusion_proof(tx.tx_id) is None
+
+
+class TestHeadersAfter:
+    def test_serves_headers_above_locator(self):
+        chain = make_chain()
+        blocks = [extend(chain) for _ in range(5)]
+        headers = chain.headers_after([blocks[1].hash], limit=10)
+        assert [h.height for h in headers] == [3, 4, 5]
+
+    def test_unknown_locator_falls_back_to_genesis(self):
+        chain = make_chain()
+        extend(chain)
+        extend(chain)
+        headers = chain.headers_after(["ff" * 32], limit=10)
+        assert [h.height for h in headers] == [1, 2]
+
+    def test_limit_caps_batch(self):
+        chain = make_chain()
+        for _ in range(6):
+            extend(chain)
+        headers = chain.headers_after([], limit=2)
+        assert [h.height for h in headers] == [1, 2]
+
+    def test_first_recognised_locator_hash_wins(self):
+        chain = make_chain()
+        blocks = [extend(chain) for _ in range(4)]
+        headers = chain.headers_after(["not-a-hash", blocks[2].hash, blocks[0].hash],
+                                      limit=10)
+        assert [h.height for h in headers] == [4]
+
+
 class TestDifficultySchedule:
     def test_no_retarget_when_window_zero(self):
         chain = make_chain(retarget_window=0)

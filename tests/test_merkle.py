@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.errors import ValidationError
-from repro.crypto.merkle import MerkleProof, MerkleTree, leaf_hash
+from repro.crypto.merkle import (
+    _LEAF_PREFIX,
+    MerkleProof,
+    MerkleTree,
+    leaf_hash,
+    tree_depth,
+)
 
 
 class TestTreeConstruction:
@@ -80,3 +86,99 @@ class TestProofs:
         forged_leaf = items[index] + "-forged"
         forged = MerkleProof(leaf_index=index, leaf=forged_leaf, path=proof.path)
         assert not forged.verify(tree.root)
+
+
+class TestAdversarialProofs:
+    """The hardened verifier: index binding, size pinning, confusion attacks."""
+
+    def _tree(self, size=5):
+        return MerkleTree([f"item-{i}" for i in range(size)])
+
+    def test_truncated_path_rejected(self):
+        tree = self._tree(8)
+        proof = tree.proof(3)
+        truncated = MerkleProof(leaf_index=3, leaf=proof.leaf, path=proof.path[:-1])
+        assert not truncated.verify(tree.root)
+        # Even against the subtree root it would reach, the index no
+        # longer fits the shortened path.
+        assert not MerkleProof(leaf_index=7, leaf=proof.leaf,
+                               path=proof.path[:2]).verify(tree.root)
+
+    def test_swapped_sibling_flag_rejected(self):
+        tree = self._tree(4)
+        proof = tree.proof(2)
+        sibling, is_right = proof.path[0]
+        flipped = ((sibling, not is_right),) + proof.path[1:]
+        assert not MerkleProof(leaf_index=2, leaf=proof.leaf, path=flipped).verify(tree.root)
+
+    def test_negative_and_oversized_index_rejected(self):
+        tree = self._tree(4)
+        proof = tree.proof(1)
+        assert not MerkleProof(leaf_index=-1, leaf=proof.leaf,
+                               path=proof.path).verify(tree.root)
+        assert not MerkleProof(leaf_index=4, leaf=proof.leaf,
+                               path=proof.path).verify(tree.root)
+
+    def test_duplicate_tail_phantom_index_rejected(self):
+        # Odd levels duplicate the tail: without index binding, the last
+        # leaf of a 3-leaf tree also "verifies" at phantom index 3.
+        tree = self._tree(3)
+        proof = tree.proof(2)
+        # The phantom's level-0 parity differs, so the flag binding trips.
+        phantom = MerkleProof(leaf_index=3, leaf=proof.leaf, path=proof.path)
+        assert not phantom.verify(tree.root)
+        # And tree_size pins the real leaf count regardless of the path.
+        assert proof.verify(tree.root, tree_size=3)
+        assert not MerkleProof(leaf_index=3, leaf=proof.leaf,
+                               path=proof.path).verify(tree.root, tree_size=3)
+
+    def test_tree_size_pins_path_length(self):
+        tree = self._tree(8)
+        proof = tree.proof(0)
+        assert proof.verify(tree.root, tree_size=8)
+        assert not proof.verify(tree.root, tree_size=4)   # depth mismatch
+        assert not proof.verify(tree.root, tree_size=0)
+        assert not proof.verify(tree.root, tree_size=-1)
+
+    def test_leaf_interior_confusion_rejected(self):
+        # Present an interior node as a leaf one level up: the leaf domain
+        # prefix makes leaf_hash(x) != x for any interior hash, so a
+        # shortened "proof" from an interior value cannot verify.
+        tree = self._tree(4)
+        interior = tree._levels[1][0]  # hash of leaves 0,1
+        sibling = tree._levels[1][1]
+        confused = MerkleProof(leaf_index=0, leaf=interior, path=((sibling, True),))
+        assert not confused.verify(tree.root)
+        # Sanity: the domain prefix is what breaks the equivalence.
+        assert leaf_hash(interior) != interior
+        assert _LEAF_PREFIX == "leaf|"
+
+    def test_tree_depth(self):
+        assert tree_depth(0) == 0
+        assert tree_depth(1) == 0
+        assert tree_depth(2) == 1
+        assert tree_depth(3) == 2
+        assert tree_depth(8) == 3
+        assert tree_depth(9) == 4
+
+    @given(st.lists(st.text(max_size=8), min_size=1, max_size=33), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_prove_verify_round_trip_with_size(self, items, data):
+        # Covers empty-ish edges via min sizes elsewhere; here every proof
+        # must verify with its true tree_size and fail with a wrong index.
+        tree = MerkleTree(items)
+        index = data.draw(st.integers(min_value=0, max_value=len(items) - 1))
+        proof = tree.proof(index)
+        assert proof.verify(tree.root, tree_size=len(items))
+        wrong = (index + 1) % (1 << len(proof.path)) if proof.path else index + 1
+        if wrong != index:
+            assert not MerkleProof(leaf_index=wrong, leaf=proof.leaf,
+                                   path=proof.path).verify(tree.root)
+
+    @given(st.lists(st.text(max_size=8), min_size=0, max_size=17))
+    @settings(max_examples=60, deadline=None)
+    def test_proof_json_round_trip(self, items):
+        tree = MerkleTree(items)
+        for index in range(len(items)):
+            proof = tree.proof(index)
+            assert MerkleProof.from_dict(proof.to_dict()) == proof
