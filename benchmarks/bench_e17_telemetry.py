@@ -1,0 +1,204 @@
+"""E17 — telemetry plane: differential identity, overhead, critical paths.
+
+The telemetry plane (:mod:`repro.telemetry`) attaches a causal tracer and
+a unified metrics registry to the full monitored stack.  Three arms pin
+the PR's claims:
+
+1. **Differential** — a telemetry-attached `federation-scale` run must be
+   bit-identical (decisions, alerts, chain head) to a bare one: tracing
+   draws no RNG, sends no simnet traffic and mints no global ids.  The
+   same arm measures wall-clock overhead (best-of-N repeats per arm) and
+   holds it under the 15 % budget.
+2. **Tracing hygiene + critical paths** — after the run every span closes
+   cleanly (no orphans, no double-closes), the critical-path analyser
+   attributes p50/p99 decision time per hop, and the exported Chrome
+   trace round-trips through ``tools/trace2chrome.py``'s converter and
+   validates (loadable in chrome://tracing / Perfetto).
+3. **Unified snapshot** — ``stack.telemetry.snapshot()`` aggregates every
+   subsystem ``stats()`` surface plus the pushed access-latency
+   histogram, including a windowed slice of the load phase.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workload (and loosens the noisy
+wall-clock bound) for CI smoke runs.
+"""
+
+import importlib.util
+import json
+import os
+import pathlib
+import time
+
+from benchmarks.common import (
+    RESULTS_DIR,
+    bench_drams_config,
+    write_json_report,
+)
+from repro.common.ids import reset_id_counter
+from repro.crypto.hashing import hash_value
+from repro.harness import MonitoredFederation
+from repro.metrics.tables import format_table
+from repro.telemetry import validate_chrome_trace
+from repro.workload.scenarios import federation_scale_scenario
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REQUESTS = 40 if SMOKE else 120
+RUN_UNTIL = 60.0
+TIMING_REPEATS = 2 if SMOKE else 3
+# Wall-clock bound: the acceptance bar is < 15 %; smoke runs in shared CI
+# containers where a sub-second run's timing noise swamps the signal, so
+# the assertion loosens there (the ratio is still reported and archived).
+OVERHEAD_BOUND = 0.60 if SMOKE else 0.15
+
+
+def build_stack(telemetry: bool) -> MonitoredFederation:
+    reset_id_counter()
+    stack = MonitoredFederation.build(
+        federation_scale_scenario(), clouds=2, seed=91, with_drams=True,
+        drams_config=bench_drams_config(), telemetry=telemetry)
+    stack.start()
+    return stack
+
+
+def drive(stack: MonitoredFederation) -> None:
+    stack.issue_requests(REQUESTS)
+    stack.run(until=RUN_UNTIL)
+    assert len(stack.outcomes) == REQUESTS, "arm lost requests"
+
+
+def decision_fingerprint(stack) -> dict:
+    decisions = sorted(
+        (
+            round(o.requested_at, 9),
+            hash_value(o.request.content),
+            o.decision.decision,
+            hash_value(o.decision.obligations),
+            o.decision.status_code,
+        )
+        for o in stack.outcomes
+    )
+    alerts = sorted(a.alert_type.value for a in stack.drams.alerts.all())
+    return {"decisions": decisions, "alerts": alerts,
+            "chain_head": stack.drams.reference_chain().head.hash}
+
+
+def timed_run(telemetry: bool):
+    """Best-of-N wall clock for one arm, plus the last run's stack."""
+    best = float("inf")
+    stack = None
+    for _ in range(TIMING_REPEATS):
+        started = time.perf_counter()
+        stack = build_stack(telemetry)
+        drive(stack)
+        best = min(best, time.perf_counter() - started)
+    return best, stack
+
+
+def _load_trace2chrome():
+    """Import ``tools/trace2chrome.py`` by path (it is not a package)."""
+    path = pathlib.Path(__file__).parent.parent / "tools" / "trace2chrome.py"
+    spec = importlib.util.spec_from_file_location("trace2chrome", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_e17_telemetry(report):
+    lines = []
+
+    # -- arm 1: differential identity + overhead -------------------------------
+    bare_wall, bare_stack = timed_run(telemetry=False)
+    traced_wall, traced_stack = timed_run(telemetry=True)
+    bare_fp = decision_fingerprint(bare_stack)
+    traced_fp = decision_fingerprint(traced_stack)
+    assert traced_fp == bare_fp, (
+        "telemetry-attached stack diverged from the bare stack")
+    overhead = traced_wall / bare_wall - 1.0
+    assert overhead < OVERHEAD_BOUND, (
+        f"tracing overhead {overhead:.1%} exceeds {OVERHEAD_BOUND:.0%}")
+    lines.append(format_table([{
+        "arm": "differential",
+        "requests": REQUESTS,
+        "identical": traced_fp == bare_fp,
+        "bare_wall_s": round(bare_wall, 3),
+        "traced_wall_s": round(traced_wall, 3),
+        "overhead_pct": round(100.0 * overhead, 1),
+        "bound_pct": round(100.0 * OVERHEAD_BOUND, 1),
+    }], title="E17 differential: telemetry attached vs bare"))
+
+    # -- arm 2: span hygiene + critical paths + Perfetto export ----------------
+    telemetry = traced_stack.telemetry
+    telemetry.flush()
+    tracing = telemetry.tracer.stats()
+    assert tracing["open"] == 0, f"unclosed spans after flush: {tracing}"
+    assert tracing["double_closes"] == 0, tracing
+    assert tracing["orphan_closes"] == 0, tracing
+    assert tracing["dropped"] == 0, tracing
+
+    paths = telemetry.critical_paths()
+    decision_traces = paths.decision_traces()
+    assert len(decision_traces) == REQUESTS, (
+        f"{len(decision_traces)} decision traces for {REQUESTS} requests")
+    attribution = paths.attribution_table(fractions=(0.5, 0.99))
+    assert attribution, "no attribution rows"
+    for row in attribution:
+        hop_total = sum(v for k, v in row.items() if k.endswith("_s")
+                        and k != "total_s")
+        # Hop values are rounded to the microsecond in the table, so the
+        # sum may be off by half a microsecond per hop.
+        assert abs(hop_total - row["total_s"]) < 1e-5, (
+            f"attribution does not sum to the trace extent: {row}")
+    lines.append(format_table(
+        attribution, title="E17 critical path: per-hop attribution"))
+
+    spans_doc = telemetry.spans_json()
+    trace2chrome = _load_trace2chrome()
+    chrome = trace2chrome.convert(spans_doc)
+    problems = validate_chrome_trace(chrome)
+    assert not problems, problems
+    complete = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == tracing["spans"], (
+        f"{len(complete)} exported events for {tracing['spans']} spans")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    trace_path = RESULTS_DIR / "e17_trace.json"
+    trace_path.write_text(json.dumps(chrome) + "\n")
+    lines.append(f"Perfetto trace: {trace_path.name} "
+                 f"({len(complete)} events, validated)")
+
+    # -- arm 3: unified snapshot ------------------------------------------------
+    snapshot = telemetry.snapshot()
+    for surface in ("network", "plane", "peps", "policy_plane", "drams",
+                    "tracing"):
+        assert surface in snapshot["collected"], surface
+    latency_rows = snapshot["histograms"]["pep.access_latency"]
+    total_count = sum(row["n"] for row in latency_rows.values())
+    assert total_count == REQUESTS, latency_rows
+    assert snapshot["counters"]["pep.decisions"], "no decision counters"
+    assert snapshot["collected"]["network"]["by_kind"].get(
+        "ac_request", 0) >= REQUESTS
+    # Windowed slice: only outcomes enforced in the first half of the run.
+    first_half = telemetry.registry.snapshot(
+        window=(0.0, RUN_UNTIL / 2))["histograms"]["pep.access_latency"]
+    half_count = sum(row["n"] for row in first_half.values())
+    assert 0 < half_count <= REQUESTS
+    lines.append(format_table([{
+        "surfaces": len(snapshot["collected"]),
+        "spans": tracing["spans"],
+        "latency_count": total_count,
+        "first_half_count": half_count,
+        "alerts": len(traced_stack.drams.alerts.all()),
+    }], title="E17 snapshot: unified telemetry tree"))
+
+    write_json_report("e17", {
+        "differential_identical": traced_fp == bare_fp,
+        "requests": REQUESTS,
+        "bare_wall_s": round(bare_wall, 4),
+        "traced_wall_s": round(traced_wall, 4),
+        "overhead_ratio": round(overhead, 4),
+        "overhead_bound": OVERHEAD_BOUND,
+        "spans": tracing["spans"],
+        "decision_traces": len(decision_traces),
+        "attribution": attribution,
+        "chrome_events": len(complete),
+        "collected_surfaces": sorted(snapshot["collected"]),
+    })
+    report("e17", "\n\n".join(lines))

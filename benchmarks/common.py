@@ -21,6 +21,7 @@ import time
 from repro.blockchain.config import BlockchainConfig
 from repro.drams.system import DramsConfig
 from repro.harness import MonitoredFederation
+from repro.metrics.recorder import percentile
 from repro.workload.scenarios import Scenario, healthcare_scenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -103,8 +104,13 @@ def mean(values) -> float:
 
 
 def p95(values) -> float:
+    """95th percentile via the shared order-statistics engine.
+
+    Delegates to :func:`repro.metrics.recorder.percentile` (linear
+    interpolation) — the same summariser behind telemetry histograms —
+    instead of a duplicated nearest-rank implementation.
+    """
     ordered = sorted(values)
     if not ordered:
         return float("nan")
-    index = min(len(ordered) - 1, int(round(0.95 * (len(ordered) - 1))))
-    return ordered[index]
+    return percentile(ordered, 0.95)

@@ -196,6 +196,11 @@ class PdpService(Host):
         self.evaluations_lost += self.pending_evaluations
         self.pending_evaluations = 0
         self._busy_until = 0.0
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Accepted-but-unanswered evaluations die with the process;
+            # their spans close now instead of lingering as orphans.
+            tracer.close_prefixed(("pdp.evaluate", self.address), "crashed")
         self.network.detach(self.address)
 
     def restart(self) -> None:
@@ -237,6 +242,16 @@ class PdpService(Host):
             delay = self._busy_until - self.sim.now
         self.pending_evaluations += 1
         epoch = self._epoch
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Keyed span covering queue wait + evaluation; the reply path
+            # closes it, a crash closes every open one for this shard.
+            # open_span is idempotent, so a duplicated delivery re-finds
+            # the live span instead of forking the trace.
+            tracer.open_span(
+                ("pdp.evaluate", self.address, request.request_id),
+                "pdp.evaluate", self.address,
+                attrs={"cache_hit": hit_expected})
         self.sim.schedule(
             delay,
             lambda: self._evaluate_and_reply(request, message.src, keyed, epoch),
@@ -261,6 +276,22 @@ class PdpService(Host):
             # event outlived it.  The loss was already accounted at crash
             # time (``evaluations_lost``) — just let the event die.
             return
+        tracer = self.network.telemetry
+        if tracer is not None:
+            span_key = ("pdp.evaluate", self.address, request.request_id)
+            span = tracer.keyed(span_key)
+            if span is not None:
+                # The reply (and the PDP-out probe legs) inherit the
+                # evaluation span; non-strict close because a duplicated
+                # request schedules a second evaluation of the same key.
+                with tracer.activate(span.context):
+                    self._serve(request, reply_to, keyed)
+                tracer.close_span(span_key, "ok", strict=False)
+                return
+        self._serve(request, reply_to, keyed)
+
+    def _serve(self, request: AccessRequest, reply_to: str,
+               keyed: Optional[tuple[str, str]]) -> None:
         self.requests_served += 1
         self.pending_evaluations -= 1
         payload, version = self._decide(request, keyed)

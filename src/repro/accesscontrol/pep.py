@@ -146,6 +146,8 @@ class _PendingAttempt:
     callback: Optional[CompletionCallback]
     requested_at: float
     timeout_event: Event
+    #: Keyed tracer span for the live attempt (None when untraced).
+    trace_key: Optional[tuple] = None
 
 
 class PolicyEnforcementPoint(Host):
@@ -198,6 +200,8 @@ class PolicyEnforcementPoint(Host):
         self.enforcement_interceptor: Optional[EnforcementInterceptor] = None
         self.bypass: Optional[Callable[[AccessRequest], AccessDecision]] = None
         self._pending: dict[str, _PendingAttempt] = {}
+        #: Root trace spans by request id (live until enforcement).
+        self._trace_roots: dict = {}
 
     # -- client API -----------------------------------------------------------
 
@@ -226,6 +230,27 @@ class PolicyEnforcementPoint(Host):
         self, request: AccessRequest, callback: Optional[CompletionCallback] = None
     ) -> AccessRequest:
         """Process an already-built access request."""
+        tracer = self.network.telemetry
+        if tracer is None:
+            return self._submit(request, callback)
+        # Root span of the decision trace.  The trace id is the request's
+        # own (pre-existing) id — tracing mints nothing — and the
+        # correlation binding is what lets the log pipeline's async legs
+        # re-join this trace later.
+        root = self._trace_roots.get(request.request_id)
+        if root is None:
+            root = tracer.begin(
+                "pep.request", self.address, parent=None,
+                trace_id=request.request_id,
+                attrs={"tenant": self.tenant_name})
+            self._trace_roots[request.request_id] = root
+            tracer.bind_correlation(request.correlation(), root.context)
+        with tracer.activate(root.context):
+            return self._submit(request, callback)
+
+    def _submit(
+        self, request: AccessRequest, callback: Optional[CompletionCallback]
+    ) -> AccessRequest:
         for hook in self.on_request_intercepted:
             hook(request)
         if self.bypass is not None:
@@ -248,6 +273,10 @@ class PolicyEnforcementPoint(Host):
         previous = self._pending.pop(request.request_id, None)
         if previous is not None:
             previous.timeout_event.cancel()
+            tracer = self.network.telemetry
+            if tracer is not None and previous.trace_key is not None:
+                tracer.close_span(previous.trace_key, "superseded",
+                                  strict=False)
         # The attempt budget and deadline freeze at submit time (so
         # request_timeout still bounds the whole request); the actual
         # shard for each retry is re-planned at failover time.
@@ -287,6 +316,20 @@ class PolicyEnforcementPoint(Host):
             lambda: self._timeout(request.request_id),
             label=f"pep-timeout:{request.request_id}",
         )
+        tracer = self.network.telemetry
+        trace_key = None
+        attempt_span = None
+        if tracer is not None:
+            # One keyed span per shard attempt — the response handler or
+            # the attempt timer closes it, whichever fires first.
+            root = self._trace_roots.get(request.request_id)
+            trace_key = ("pep.dispatch", self.address,
+                         request.request_id, len(tried))
+            attempt_span = tracer.open_span(
+                trace_key, "pep.dispatch", self.address,
+                parent=root.context if root is not None else None,
+                trace_id=root.trace_id if root is not None else None,
+                attrs={"endpoint": endpoint, "attempt": len(tried)})
         self._pending[request.request_id] = _PendingAttempt(
             request=request,
             forwarded=forwarded,
@@ -297,6 +340,7 @@ class PolicyEnforcementPoint(Host):
             callback=callback,
             requested_at=requested_at,
             timeout_event=timeout_event,
+            trace_key=trace_key,
         )
         # Load-aware planes project in-flight work from real dispatches
         # (initial sends and failover retries alike), never from routing
@@ -304,7 +348,11 @@ class PolicyEnforcementPoint(Host):
         # tenant tag lets a gossiped load view charge the dispatch to
         # this PEP's own picture of the shard queues.
         self.plane.note_dispatch(endpoint, source=self.tenant_name)
-        self.send(endpoint, "ac_request", forwarded.to_dict())
+        if attempt_span is not None:
+            with tracer.activate(attempt_span.context):
+                self.send(endpoint, "ac_request", forwarded.to_dict())
+        else:
+            self.send(endpoint, "ac_request", forwarded.to_dict())
 
     # -- message handling ----------------------------------------------------------
 
@@ -316,6 +364,9 @@ class PolicyEnforcementPoint(Host):
         if pending is None:
             return  # duplicate or timed-out response
         pending.timeout_event.cancel()
+        tracer = self.network.telemetry
+        if tracer is not None and pending.trace_key is not None:
+            tracer.close_span(pending.trace_key, "ok")
         if self.enforcement_interceptor is not None:
             decision = self.enforcement_interceptor(pending.request, decision)
         self._enforce(pending.request, decision, pending.callback, pending.requested_at)
@@ -327,8 +378,21 @@ class PolicyEnforcementPoint(Host):
         callback: Optional[CompletionCallback],
         requested_at: float,
     ) -> None:
-        for hook in self.on_enforce:
-            hook(request, decision)
+        tracer = self.network.telemetry
+        root = (self._trace_roots.pop(request.request_id, None)
+                if tracer is not None else None)
+        if root is not None:
+            # PEP-out hooks run under the root context so the probe's log
+            # legs attach to the decision trace, not to whichever shard's
+            # response happened to deliver this enforcement.
+            with tracer.activate(root.context):
+                for hook in self.on_enforce:
+                    hook(request, decision)
+            tracer.end(root, status=decision.decision,
+                       attrs={"status_code": decision.status_code})
+        else:
+            for hook in self.on_enforce:
+                hook(request, decision)
         outcome = EnforcedAccess(
             request=request,
             decision=decision,
@@ -344,6 +408,9 @@ class PolicyEnforcementPoint(Host):
         pending = self._pending.pop(request_id, None)
         if pending is None:
             return
+        tracer = self.network.telemetry
+        if tracer is not None and pending.trace_key is not None:
+            tracer.close_span(pending.trace_key, "timeout")
         if self.backoff is None:
             next_window = pending.per_attempt
             budget_left = pending.attempts_left > 0

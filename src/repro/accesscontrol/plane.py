@@ -119,6 +119,10 @@ class DecisionPlane:
     def __init__(self) -> None:
         self._services = []
         self._membership_listeners: list[MembershipListener] = []
+        #: Optional :class:`repro.telemetry.tracing.Tracer`; when set,
+        #: membership changes leave instant markers on a ``lifecycle``
+        #: trace so elasticity shows up on the same timeline as requests.
+        self.telemetry = None
 
     @property
     def services(self) -> list[PdpService]:
@@ -179,6 +183,10 @@ class DecisionPlane:
         self._membership_listeners.append(listener)
 
     def _notify_membership(self, event: str, service: PdpService) -> None:
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                f"plane.{event}", service.address, context=None,
+                trace_id="lifecycle", category="membership")
         for listener in list(self._membership_listeners):
             listener(event, service)
 

@@ -151,6 +151,13 @@ class BlockchainNode(Host):
             return False
         tx.submitted_at = self.sim.now
         accepted = self.mempool.add(tx)
+        tracer = self.network.telemetry
+        if accepted and tracer is not None and tracer.current is not None:
+            # Only transactions submitted under an active trace get a
+            # mempool span — sweeps and ticks stay untraced.
+            tracer.open_span(("chain.mempool", self.address, tx.tx_id),
+                             "chain.mempool", self.address, category="chain",
+                             attrs={"method": tx.method})
         if accepted and not self.crashed:
             self._gossip("bc_tx", tx.to_dict())
         # While crashed the mempool acts as the LI's write-ahead journal:
@@ -310,6 +317,15 @@ class BlockchainNode(Host):
             self.invalid_blocks_seen += 1
             return
         self.mempool.remove_all(tx.tx_id for tx in block.transactions)
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Non-strict: every block closes spans for its own txs only —
+            # most were submitted at other nodes or outside any trace.
+            for tx in block.transactions:
+                tracer.close_span(("chain.mempool", self.address, tx.tx_id),
+                                  "included",
+                                  attrs={"height": block.header.height},
+                                  strict=False)
         self._gossip("bc_block", payload if payload is not None else block.to_dict(),
                      exclude=relay_exclude)
         # Reconnect any orphan waiting on this block.

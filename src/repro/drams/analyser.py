@@ -189,6 +189,15 @@ class Analyser(Host):
             return
         if not self._admit(correlation_id):
             return
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Open from first admission to verification — the "audit lag"
+            # tail of the decision's critical path.  Idempotent across the
+            # several contract events one correlation produces.
+            tracer.open_span(("analyser.audit", correlation_id),
+                             "analyser.audit", self.address,
+                             parent=tracer.context_for(correlation_id),
+                             category="monitor")
         self._pending[correlation_id] = None
         self._check_decision(correlation_id)
 
@@ -245,6 +254,10 @@ class Analyser(Host):
         self._pending.pop(correlation_id, None)
         self._unknown_since.pop(correlation_id, None)
         self.checked += 1
+        tracer = self.network.telemetry
+        if tracer is not None:
+            tracer.close_span(("analyser.audit", correlation_id),
+                              "checked", strict=False)
         observed = decision_payload["decision"]
         if stamped_fp and stamped_fp not in self._fingerprints:
             # No publisher ever produced this document: a tampered PRP
@@ -393,6 +406,13 @@ class Analyser(Host):
 
     def _submit_violation(self, correlation_id: str, kind: str,
                           details: dict) -> None:
+        tracer = self.network.telemetry
+        if tracer is not None:
+            tracer.instant("analyser.violation", self.address,
+                           context=tracer.context_for(correlation_id),
+                           category="monitor",
+                           attrs={"kind": kind,
+                                  "reason": details.get("reason", "")})
         self._seq += 1
         tx = Transaction(
             sender=self.address,
@@ -419,6 +439,16 @@ class Analyser(Host):
         steady-state sweeps over a mostly-verified chain cost nothing.
         Returns the number of decisions checked.
         """
+        tracer = self.network.telemetry
+        if tracer is None:
+            return self._sweep()
+        with tracer.span("analyser.sweep", self.address, parent=None,
+                         category="background") as span:
+            checked = self._sweep()
+            span.attrs["checked"] = checked
+        return checked
+
+    def _sweep(self) -> int:
         for correlation_id in list(self._churn_pending):
             self._audit_churn(correlation_id)
         if not self._pending:

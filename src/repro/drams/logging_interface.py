@@ -91,6 +91,20 @@ class LoggingInterface(Host):
 
     def store_entry(self, entry: LogEntry) -> Optional[str]:
         """Encrypt, commit and submit a log entry; returns the tx id."""
+        tracer = self.network.telemetry
+        if tracer is None:
+            return self._store_entry(entry)
+        # Message deliveries arrive with the sender's context active;
+        # direct calls re-join the decision trace via the correlation id.
+        parent = tracer.current or tracer.context_for(entry.correlation_id)
+        span = tracer.begin("li.record_log", self.address, parent=parent,
+                            attrs={"entry_type": entry.entry_type})
+        with tracer.activate(span.context):
+            tx_id = self._store_entry(entry)
+        tracer.end(span, "ok" if tx_id is not None else "rejected")
+        return tx_id
+
+    def _store_entry(self, entry: LogEntry) -> Optional[str]:
         if self.tamper_interceptor is not None:
             entry = self.tamper_interceptor(entry)
         try:
@@ -134,6 +148,12 @@ class LoggingInterface(Host):
             return None
         self.logs_submitted += 1
         self._pending_commit[tx.tx_id] = self.sim.now
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Open until this LI observes the transaction final — the
+            # "chain wait" hop of the decision's critical path.
+            tracer.open_span(("chain.commit", self.address, tx.tx_id),
+                             "chain.commit", self.address, category="chain")
         return tx.tx_id
 
     def submit_tick(self) -> Optional[str]:
@@ -156,9 +176,15 @@ class LoggingInterface(Host):
         """On each new head, settle pending submissions that became final."""
         done = [tx_id for tx_id in self._pending_commit
                 if self.node.chain.is_final(tx_id)]
+        tracer = self.network.telemetry
         for tx_id in done:
             submitted = self._pending_commit.pop(tx_id)
             self.commit_latencies.append(self.sim.now - submitted)
+            if tracer is not None:
+                # Non-strict: the span only exists for entries stored
+                # while tracing was attached.
+                tracer.close_span(("chain.commit", self.address, tx_id),
+                                  "final", strict=False)
 
     # -- alert delivery --------------------------------------------------------------
 
@@ -173,6 +199,13 @@ class LoggingInterface(Host):
         if key in self._seen_alerts:
             return
         self._seen_alerts.add(key)
+        tracer = self.network.telemetry
+        if tracer is not None:
+            tracer.instant(
+                "alert", self.address,
+                context=tracer.context_for(payload["correlation_id"]),
+                category="alert",
+                attrs={"alert_type": payload["alert_type"]})
         alert = Alert(
             alert_type=AlertType(payload["alert_type"]),
             correlation_id=payload["correlation_id"],

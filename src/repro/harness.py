@@ -44,6 +44,8 @@ from repro.common.errors import ValidationError
 from repro.common.ids import short_hash
 from repro.drams.system import DramsConfig, DramsSystem
 from repro.federation.federation import Federation, FederationConfig
+from repro.metrics.recorder import percentile
+from repro.telemetry.stack import StackTelemetry
 from repro.policydist.plane import (
     PolicyDistributionPlane,
     SingleStorePlane,
@@ -69,6 +71,7 @@ class MonitoredFederation:
     drams: Optional[DramsSystem] = None
     outcomes: list[EnforcedAccess] = field(default_factory=list)
     issued: int = 0
+    telemetry: Optional[StackTelemetry] = None
 
     # -- construction ------------------------------------------------------------
 
@@ -86,6 +89,7 @@ class MonitoredFederation:
         autoscaler: Optional[AutoscaleController] = None,
         pep_kwargs: Optional[dict] = None,
         light_clients: "bool | list[str]" = False,
+        telemetry: bool = False,
     ) -> "MonitoredFederation":
         """Deploy the standard stack for ``scenario``.
 
@@ -101,6 +105,10 @@ class MonitoredFederation:
         deployed :class:`PolicyEnforcementPoint` — the fault benchmarks
         use it to shorten ``request_timeout`` and install a
         ``RetryBackoff`` without changing the default topology.
+        ``telemetry=True`` attaches a :class:`StackTelemetry` (causal
+        tracer + unified metrics registry) to the finished stack; the
+        attachment is pure observation, and the E17 differential arm
+        pins a telemetry-attached run bit-identical to a bare one.
         ``light_clients=True`` attaches a sideband light auditor (header
         client + receipt consumer, see :mod:`repro.lightclient`) to every
         member tenant's PEP — or to a named subset when given a list.
@@ -153,7 +161,7 @@ class MonitoredFederation:
             raise ValidationError("light_clients requires with_drams=True")
         else:
             federation.finalize_topology()
-        return cls(
+        stack = cls(
             scenario=scenario,
             federation=federation,
             prp=prp,
@@ -165,6 +173,9 @@ class MonitoredFederation:
             autoscaler=autoscaler,
             drams=drams,
         )
+        if telemetry:
+            stack.telemetry = StackTelemetry(stack)
+        return stack
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -319,3 +330,40 @@ class MonitoredFederation:
         if not self.outcomes:
             return 0.0
         return sum(1 for o in self.outcomes if o.granted) / len(self.outcomes)
+
+    def run_summary(self) -> dict:
+        """One dict summarising a finished run: outcomes, faults, traffic.
+
+        The ``network`` block surfaces :class:`~repro.simnet.network.
+        NetworkStats` — message and wire-byte totals, drops including
+        ``dropped_dead``, and the per-kind traffic breakdown — which
+        chaos runs previously had to read off ``network.stats`` by hand.
+        With DRAMS deployed its ``stats()`` tree rides along; with
+        telemetry attached, so do the tracer's span counters.
+        """
+        summary: dict = {
+            "scenario": self.scenario.name,
+            "sim_now": self.sim.now,
+            "issued": self.issued,
+            "enforced": len(self.outcomes),
+            "grant_rate": round(self.grant_rate(), 4),
+            "timeouts": sum(p.timeouts for p in self.peps.values()),
+            "failovers": sum(p.failovers for p in self.peps.values()),
+            "churn_reroutes": sum(p.churn_reroutes for p in self.peps.values()),
+            "network": self.federation.network.stats.snapshot(),
+        }
+        latencies = sorted(self.access_latencies())
+        if latencies:
+            summary["latency"] = {
+                "mean": sum(latencies) / len(latencies),
+                "p50": percentile(latencies, 0.50),
+                "p95": percentile(latencies, 0.95),
+                "max": latencies[-1],
+            }
+        if self.drams is not None:
+            summary["drams"] = self.drams.stats()
+        if self.autoscaler is not None:
+            summary["autoscaler"] = self.autoscaler.describe()
+        if self.telemetry is not None:
+            summary["tracing"] = self.telemetry.tracer.stats()
+        return summary

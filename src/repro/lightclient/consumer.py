@@ -79,6 +79,13 @@ class LightProbeConsumer(SidebandHost):
         if correlation_id in self.receipts or correlation_id in self._parked:
             return
         if correlation_id not in self._awaiting:
+            tracer = self.network.telemetry
+            if tracer is not None:
+                # Sideband leg of the decision trace: watch → accept/reject.
+                tracer.open_span(("lc.audit", self.address, correlation_id),
+                                 "lc.audit", self.address,
+                                 parent=tracer.context_for(correlation_id),
+                                 category="sideband")
             self._awaiting[correlation_id] = None
             self._fetch(correlation_id)
 
@@ -158,6 +165,10 @@ class LightProbeConsumer(SidebandHost):
         if result.ok:
             self.receipts[correlation_id] = receipt
             self.receipts_accepted += 1
+            tracer = self.network.telemetry
+            if tracer is not None:
+                tracer.close_span(("lc.audit", self.address, correlation_id),
+                                  "accepted", strict=False)
         else:
             self._reject(correlation_id, result.reason)
 
@@ -167,6 +178,10 @@ class LightProbeConsumer(SidebandHost):
         self._parked_age.pop(correlation_id, None)
         self.receipts_rejected += 1
         self.rejections.append((correlation_id, reason))
+        tracer = self.network.telemetry
+        if tracer is not None:
+            tracer.close_span(("lc.audit", self.address, correlation_id),
+                              f"rejected:{reason}", strict=False)
 
     # -- reporting -------------------------------------------------------------
 

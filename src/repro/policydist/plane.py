@@ -162,6 +162,15 @@ class _PrpReplicaHost(Host):
         elif message.kind == "prp_sync":
             for record in message.payload["records"]:
                 self.replica.apply_record(record)
+        else:
+            return
+        tracer = self.network.telemetry
+        if tracer is not None:
+            # Policy propagation markers on the replica's own timeline —
+            # how churn windows line up with decision traces.
+            tracer.instant("prp.apply", self.address, category="policy",
+                           attrs={"kind": message.kind,
+                                  "versions": self.replica.version_count()})
 
     def pull(self) -> None:
         """Anti-entropy: ask the origin for everything past our vector."""

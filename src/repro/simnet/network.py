@@ -44,6 +44,10 @@ class Message:
     payload: Any
     msg_id: str = field(default_factory=lambda: new_id("msg"))
     sent_at: float = 0.0
+    #: Sideband trace context (:class:`repro.telemetry.tracing.TraceContext`).
+    #: Never part of the payload: excluded from equality and from
+    #: :meth:`size_bytes`, so tracing changes no wire stat or sampled latency.
+    trace: Any = field(default=None, repr=False, compare=False)
 
     def size_bytes(self) -> int:
         """Wire size estimate — canonical encoding length plus header.
@@ -75,8 +79,11 @@ class NetworkStats:
     #: Extra deliveries injected by per-link duplication faults.
     duplicated: int = 0
     bytes_sent: int = 0
+    #: Sends by message kind — the per-protocol traffic breakdown the
+    #: harness run summaries surface.
+    by_kind: dict = field(default_factory=dict)
 
-    def snapshot(self) -> dict[str, int]:
+    def snapshot(self) -> dict:
         return {
             "sent": self.sent,
             "delivered": self.delivered,
@@ -84,6 +91,7 @@ class NetworkStats:
             "dropped_dead": self.dropped_dead,
             "duplicated": self.duplicated,
             "bytes_sent": self.bytes_sent,
+            "by_kind": dict(sorted(self.by_kind.items())),
         }
 
 
@@ -175,6 +183,12 @@ class Network:
         self._link_faults: dict[tuple[str, str], LinkFault] = {}
         self._drop_rate = 0.0
         self._taps: list[Callable[[Message], None]] = []
+        #: Optional :class:`repro.telemetry.tracing.Tracer`.  When set,
+        #: sends stamp the active trace context onto the message and
+        #: deliveries re-activate it around ``host.receive`` — the whole
+        #: cross-hop propagation protocol.  Pure observation: no payload,
+        #: stat or RNG effect.
+        self.telemetry = None
         #: Per-address attach generation; deliveries are bound to the
         #: incarnation current at send time (see module docstring).
         self._incarnations: dict[str, int] = {}
@@ -296,7 +310,10 @@ class Network:
             message = Message(src=src, dst=dst, kind=kind, payload=payload,
                               msg_id=msg_id, sent_at=self.sim.now)
         self.stats.sent += 1
+        self.stats.by_kind[kind] = self.stats.by_kind.get(kind, 0) + 1
         self.stats.bytes_sent += message.size_bytes()
+        if self.telemetry is not None:
+            message.trace = self.telemetry.current
         for tap in self._taps:
             tap(message)
         if dst not in self._hosts:
@@ -324,12 +341,21 @@ class Network:
             if host is None or self._incarnations.get(dst, 0) != born:
                 self.stats.dropped += 1
                 self.stats.dropped_dead += 1
+                if self.telemetry is not None and message.trace is not None:
+                    # The trace sees the loss even though no host does.
+                    self.telemetry.instant(
+                        "net.dropped_dead", dst, context=message.trace,
+                        attrs={"kind": message.kind})
                 return
             if self.is_partitioned(src, dst):
                 self.stats.dropped += 1
                 return
             self.stats.delivered += 1
-            host.receive(message)
+            if self.telemetry is not None and message.trace is not None:
+                with self.telemetry.activate(message.trace):
+                    host.receive(message)
+            else:
+                host.receive(message)
 
         self.sim.schedule(delay, deliver, label=f"deliver:{kind}:{src}->{dst}")
         if fault is not None and fault.duplicate > 0 and \

@@ -1,0 +1,207 @@
+"""The unified metrics registry.
+
+Every subsystem already keeps its own ``stats()`` dict (plane, caches,
+PRP replicas, network, chain, autoscaler, light clients).  The registry
+does not replace any of them — it *aggregates*: pull-based collectors
+wrap the existing surfaces, while push-based counters / gauges /
+histograms cover what no component owns (end-to-end access latency).
+``snapshot()`` renders everything as one nested tree.
+
+Histograms are backed by :class:`repro.metrics.recorder.LatencyRecorder`
+— the same order-statistics engine the benchmarks use — promoted here
+out of bench-only duty.  Each observation may carry a sim-time stamp, so
+``snapshot(window=(a, b))`` can summarise just the samples observed in a
+window (windowed series for dashboards and load phases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import ValidationError
+from repro.metrics.recorder import LatencyRecorder, SeriesSummary, percentile
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _label_name(labels: dict) -> str:
+    if not labels:
+        return ""
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing, labelled count."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValidationError(f"counter {self.name!r} cannot decrease")
+        key = _label_key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        return {_label_name(dict(key)) or "total": value
+                for key, value in sorted(self._values.items())}
+
+
+class Gauge:
+    """A labelled point-in-time value (set, not accumulated)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[_label_key(labels)] = value
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        return {_label_name(dict(key)) or "value": value
+                for key, value in sorted(self._values.items())}
+
+
+class Histogram:
+    """Labelled sample series with order-statistics summaries.
+
+    Values land in a :class:`LatencyRecorder` series per label set; a
+    parallel timestamp list (sim time, ``at=``) enables windowed
+    summaries without duplicating the percentile machinery.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+        self._recorder = LatencyRecorder()
+        self._times: dict[str, list[float]] = {}
+
+    def _series(self, labels: dict) -> str:
+        suffix = _label_name(labels)
+        return f"{self.name}{{{suffix}}}" if suffix else self.name
+
+    def observe(self, value: float, at: Optional[float] = None,
+                **labels) -> None:
+        series = self._series(labels)
+        self._recorder.record(series, value)
+        self._times.setdefault(series, []).append(
+            at if at is not None else -1.0)
+
+    def count(self, **labels) -> int:
+        return self._recorder.count(self._series(labels))
+
+    def summary(self, **labels) -> SeriesSummary:
+        return self._recorder.summary(self._series(labels))
+
+    def _windowed_series(self, series: str, since: float,
+                         until: Optional[float]) -> Optional[SeriesSummary]:
+        values = self._recorder.values(series)
+        times = self._times.get(series, [])
+        picked = sorted(
+            value for value, at in zip(values, times)
+            if at >= since and (until is None or at <= until))
+        if not picked:
+            return None
+        return SeriesSummary(
+            name=series,
+            count=len(picked),
+            mean=sum(picked) / len(picked),
+            p50=percentile(picked, 0.50),
+            p95=percentile(picked, 0.95),
+            p99=percentile(picked, 0.99),
+            maximum=picked[-1],
+        )
+
+    def windowed(self, since: float, until: Optional[float] = None,
+                 **labels) -> Optional[SeriesSummary]:
+        """Summary over samples stamped inside ``[since, until]``."""
+        return self._windowed_series(self._series(labels), since, until)
+
+    def snapshot(self, window: Optional[tuple] = None) -> dict:
+        out: dict = {}
+        for series in self._recorder.names():
+            if window is None:
+                summary = self._recorder.summary(series)
+            else:
+                until = window[1] if len(window) > 1 else None
+                summary = self._windowed_series(series, window[0], until)
+                if summary is None:
+                    continue
+            out[series] = summary.as_row()
+        return out
+
+
+class MetricsRegistry:
+    """Named metric instruments plus pull-based stats collectors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+        self._collectors: dict[str, Callable[[], dict]] = {}
+
+    def _instrument(self, cls, name: str, description: str):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValidationError(
+                    f"metric {name!r} is a {existing.kind}, not a {cls.kind}")
+            return existing
+        metric = cls(name, description)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._instrument(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._instrument(Gauge, name, description)
+
+    def histogram(self, name: str, description: str = "") -> Histogram:
+        return self._instrument(Histogram, name, description)
+
+    def register_collector(self, name: str,
+                           collector: Callable[[], dict]) -> None:
+        """Adopt an existing ``stats()``-style surface under ``name``."""
+        self._collectors[name] = collector
+
+    def collector_names(self) -> list[str]:
+        return sorted(self._collectors)
+
+    def snapshot(self, window: Optional[tuple] = None) -> dict:
+        """One tree: pushed instruments plus every collected surface."""
+        counters = {name: metric.snapshot()
+                    for name, metric in sorted(self._metrics.items())
+                    if isinstance(metric, Counter)}
+        gauges = {name: metric.snapshot()
+                  for name, metric in sorted(self._metrics.items())
+                  if isinstance(metric, Gauge)}
+        histograms = {name: metric.snapshot(window=window)
+                      for name, metric in sorted(self._metrics.items())
+                      if isinstance(metric, Histogram)}
+        collected = {name: collector()
+                     for name, collector in sorted(self._collectors.items())}
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "collected": collected,
+        }
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

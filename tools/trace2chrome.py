@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Convert a ``repro-spans/v1`` span dump to Chrome ``trace_event`` JSON.
+
+Usage:
+    python tools/trace2chrome.py spans.json trace.json
+    python tools/trace2chrome.py --selfcheck
+
+The input is the document :meth:`SpanRecorder.to_json` (or
+``StackTelemetry.spans_json``) writes; the output loads directly in
+``chrome://tracing`` or https://ui.perfetto.dev.  The converted document
+is shape-checked with :func:`validate_chrome_trace` before it is written,
+so a broken exporter fails here rather than in the viewer.
+
+``--selfcheck`` runs a built-in round trip (synthetic spans → chrome →
+validate) and exits non-zero on any problem; CI runs it next to the other
+tooling checks.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry.tracing import (  # noqa: E402
+    SPAN_FORMAT,
+    chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def convert(document: dict) -> dict:
+    """Span-dump dict → validated ``trace_event`` dict."""
+    if document.get("format") != SPAN_FORMAT:
+        raise SystemExit(
+            f"input is not a {SPAN_FORMAT} document "
+            f"(format={document.get('format')!r})")
+    spans = document.get("spans", [])
+    trace = chrome_trace(spans)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        raise SystemExit("converted trace failed validation:\n  "
+                         + "\n  ".join(problems))
+    return trace
+
+
+def selfcheck() -> int:
+    """Round-trip synthetic spans through the converter."""
+    spans = [
+        {"name": "pep.request", "trace_id": "t1", "span_id": "s1",
+         "parent_id": None, "component": "pep@a", "category": "request",
+         "start": 0.0, "end": 0.5, "status": "Permit", "attrs": {}},
+        {"name": "pdp.evaluate", "trace_id": "t1", "span_id": "s2",
+         "parent_id": "s1", "component": "pdp@infra", "category": "request",
+         "start": 0.1, "end": 0.2, "status": "ok",
+         "attrs": {"cache_hit": False}},
+        {"name": "open.never.exported", "trace_id": "t2", "span_id": "s3",
+         "parent_id": None, "component": "pep@a", "category": "request",
+         "start": 0.3, "end": None, "status": "open", "attrs": {}},
+    ]
+    trace = convert({"format": SPAN_FORMAT, "spans": spans})
+    events = trace["traceEvents"]
+    complete = [e for e in events if e["ph"] == "X"]
+    meta = [e for e in events if e["ph"] == "M"]
+    if len(complete) != 2:
+        print(f"selfcheck: expected 2 complete events, got {len(complete)}")
+        return 1
+    if not meta:
+        print("selfcheck: no process_name metadata events")
+        return 1
+    evaluate = next(e for e in complete if e["name"] == "pdp.evaluate")
+    if evaluate["ts"] != 0.1e6 or round(evaluate["dur"]) != round(0.1e6):
+        print(f"selfcheck: bad ts/dur scaling: {evaluate}")
+        return 1
+    if evaluate["args"]["parent_id"] != "s1":
+        print("selfcheck: span args lost the parent link")
+        return 1
+    print("trace2chrome selfcheck: OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--selfcheck":
+        return selfcheck()
+    if len(argv) != 2:
+        print("usage: python tools/trace2chrome.py <spans.json> <trace.json>")
+        print("       python tools/trace2chrome.py --selfcheck")
+        return 2
+    source, target = pathlib.Path(argv[0]), pathlib.Path(argv[1])
+    document = json.loads(source.read_text())
+    trace = convert(document)
+    target.write_text(json.dumps(trace, indent=1) + "\n")
+    print(f"{target}: {len(trace['traceEvents'])} events "
+          f"(load in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
