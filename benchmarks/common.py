@@ -26,6 +26,12 @@ from repro.workload.scenarios import Scenario, healthcare_scenario
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Seed for generated scenarios (scenariogen specs) in benchmark arms.
+#: ``benchmarks/conftest.py`` overwrites this from the ``--scenario-seed``
+#: pytest option; :func:`write_json_report` records it so every archived
+#: JSON report names the generator stream it was produced from.
+SCENARIO_SEED = 7
+
 
 def bench_chain_config(
     difficulty_bits: float = 10.0,
@@ -92,6 +98,7 @@ def write_json_report(experiment_id: str, payload: dict) -> pathlib.Path:
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": platform.python_version(),
         "smoke": os.environ.get("REPRO_BENCH_SMOKE") == "1",
+        "scenario_seed": SCENARIO_SEED,
     }
     record.update(payload)
     path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

@@ -14,6 +14,27 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--scenario-seed", type=int, default=7,
+        help="seed for generated (scenariogen) benchmark scenarios; "
+             "recorded in every BENCH_*.json report")
+
+
+@pytest.fixture(scope="session")
+def scenario_seed(request) -> int:
+    return request.config.getoption("--scenario-seed")
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _thread_scenario_seed(request):
+    """Expose ``--scenario-seed`` to report writers in benchmarks.common."""
+    from benchmarks import common
+
+    common.SCENARIO_SEED = request.config.getoption("--scenario-seed")
+    yield
+
+
 @pytest.fixture
 def report():
     """``report(experiment_id, text)`` — print and persist a results table."""

@@ -10,9 +10,29 @@ from __future__ import annotations
 
 import hashlib
 import random
+from bisect import bisect_left
 from typing import Sequence, TypeVar
 
 T = TypeVar("T")
+
+#: Cumulative Zipf mass functions, memoised per ``(n, skew)``.  The weights
+#: depend only on the catalogue size and skew — not on the stream — so every
+#: draw over the same catalogue shares one prefix-sum table and resolves in
+#: O(log n) instead of rebuilding an O(n) weight list per request.
+_ZIPF_CUMULATIVE: dict[tuple[int, float], list[float]] = {}
+
+
+def _zipf_cumulative(n: int, skew: float) -> list[float]:
+    key = (n, skew)
+    table = _ZIPF_CUMULATIVE.get(key)
+    if table is None:
+        table = []
+        acc = 0.0
+        for i in range(n):
+            acc += 1.0 / (i + 1) ** skew
+            table.append(acc)
+        _ZIPF_CUMULATIVE[key] = table
+    return table
 
 
 class SeededRng:
@@ -74,12 +94,9 @@ class SeededRng:
         """
         if n <= 0:
             raise ValueError("n must be positive")
-        weights = [1.0 / (i + 1) ** skew for i in range(n)]
-        total = sum(weights)
-        target = self._random.random() * total
-        acc = 0.0
-        for i, w in enumerate(weights):
-            acc += w
-            if acc >= target:
-                return i
-        return n - 1
+        # The cumulative table reproduces the historical linear scan's
+        # float arithmetic exactly (same left-to-right accumulation), so
+        # the bisect draws the bit-identical index for every seed.
+        cumulative = _zipf_cumulative(n, skew)
+        target = self._random.random() * cumulative[-1]
+        return min(bisect_left(cumulative, target), n - 1)

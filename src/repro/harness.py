@@ -45,6 +45,7 @@ from repro.common.ids import short_hash
 from repro.drams.system import DramsConfig, DramsSystem
 from repro.federation.federation import Federation, FederationConfig
 from repro.metrics.recorder import percentile
+from repro.metrics.windowed import WindowedMetrics
 from repro.telemetry.stack import StackTelemetry
 from repro.policydist.plane import (
     PolicyDistributionPlane,
@@ -53,6 +54,17 @@ from repro.policydist.plane import (
 )
 from repro.workload.generator import GeneratedRequest, RequestGenerator
 from repro.workload.scenarios import Scenario
+
+
+@dataclass
+class StreamHandle:
+    """Progress counters of one :meth:`MonitoredFederation.issue_stream` run."""
+
+    issued: int = 0
+    enforced: int = 0
+    granted: int = 0
+    last_at: float = 0.0
+    metrics: Optional[WindowedMetrics] = None
 
 
 @dataclass
@@ -310,6 +322,80 @@ class MonitoredFederation:
             issued.append(request)
             self.issued += 1
         return issued
+
+    def issue_stream(
+        self,
+        count: int,
+        start_at: float = 0.5,
+        on_outcome: Optional[Callable[[EnforcedAccess], None]] = None,
+        record_outcomes: bool = False,
+        window_seconds: float = 1.0,
+    ) -> "StreamHandle":
+        """Stream ``count`` generated requests through the PEPs.
+
+        The constant-memory sibling of :meth:`issue_requests`: instead of
+        materialising every request and scheduling the whole batch up
+        front, one pending workload event exists at a time — each
+        dispatch pulls the next request off the (already lazy) generator
+        and schedules it before enforcing its own.  Outcomes fold into
+        the returned handle's :class:`~repro.metrics.windowed.
+        WindowedMetrics` rather than accumulating in ``self.outcomes``
+        (opt back in with ``record_outcomes=True``), so a 10⁶-user /
+        10⁶-request run's footprint is flat in the run length.  The
+        request sequence itself (subjects, resources, arrival times,
+        owner stamps) is drawn from the same rng stream and is identical
+        to what :meth:`issue_requests` would produce.
+        """
+        tenants = sorted(self.peps)
+        if not tenants:
+            raise ValidationError("no PEPs deployed")
+        stream = self.generator.requests(count, start_at=start_at)
+        handle = StreamHandle(
+            metrics=WindowedMetrics(window_seconds=window_seconds))
+
+        def record(outcome: EnforcedAccess) -> None:
+            handle.enforced += 1
+            if outcome.granted:
+                handle.granted += 1
+            handle.metrics.observe(self.sim.now, outcome.latency, outcome.granted)
+            if record_outcomes:
+                self.outcomes.append(outcome)
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        def schedule_next() -> None:
+            request = next(stream, None)
+            if request is None:
+                return
+            tenant = self._tenant_for(request, tenants)
+            resource = dict(request.resource)
+            owner_index = int(short_hash(resource["resource-id"]), 16) % len(tenants)
+            resource.setdefault("owner-tenant", tenants[owner_index])
+
+            def dispatch(
+                tenant=tenant,
+                subject=request.subject,
+                resource=resource,
+                action=request.action,
+            ) -> None:
+                # Pull-one/schedule-one: arm the next arrival before
+                # enforcing this one, so the chain never starves and
+                # never holds more than one pending workload event.
+                schedule_next()
+                self.peps[tenant].request_access(
+                    subject=subject,
+                    resource=resource,
+                    action=action,
+                    callback=record,
+                )
+
+            self.sim.schedule_at(request.at, dispatch, label=f"workload:{request.index}")
+            handle.issued += 1
+            handle.last_at = request.at
+            self.issued += 1
+
+        schedule_next()
+        return handle
 
     def _record_outcome(
         self, extra: Optional[Callable[[EnforcedAccess], None]]

@@ -1,0 +1,534 @@
+"""The ten hand-built scenarios, transcribed as :class:`ScenarioSpec`s.
+
+Each preset compiles (via :func:`repro.scenariogen.generate.
+generate_scenario`) to a scenario *behaviourally equivalent* to its
+hand-built counterpart in :mod:`repro.workload.scenarios`: the identical
+:class:`WorkloadConfig` (hence the bit-identical request stream) and a
+policy document that agrees with the hand-built one on every decision
+and obligation — the conformance suite in ``tests/test_scenariogen.py``
+pins both.  The catalogue-shaped presets import the very same
+service-class tables the hand-built factories use, so the two stay in
+lockstep by construction.
+
+Corpus quirks are transcribed, not repaired: the healthcare
+``clinicians-read`` rule keeps its ``role_match="all"`` conjunction
+(matches nobody with single-valued roles), and clerks still get nothing
+clinical.
+"""
+
+from __future__ import annotations
+
+from repro.scenariogen.spec import (
+    ArrivalSpec,
+    ChurnSpec,
+    ObligationSpec,
+    PopulationSpec,
+    RuleSpec,
+    ScenarioSpec,
+    ServiceClassSpec,
+)
+from repro.workload.scenarios import (
+    _DIURNAL_SERVICE_CLASSES,
+    _ELASTIC_AUDITED_CLASSES,
+    _ELASTIC_SERVICE_CLASSES,
+    _FEDERATION_AUDITED_CLASSES,
+    _FEDERATION_SERVICE_CLASSES,
+    _IOT_AUDITED_CLASSES,
+    _IOT_DEVICE_CLASSES,
+    _STORM_AUDITED_CLASSES,
+    _STORM_SERVICE_CLASSES,
+)
+
+_DENY = RuleSpec(effect="Deny")
+
+
+def _catalogue_classes(
+    catalogue: dict,
+    audited: tuple = (),
+    audit_reason: str = "",
+    home_write: bool = True,
+    policy_prefix: str = "",
+) -> tuple:
+    """The uniform per-class policy shape five scenarios share."""
+    classes = []
+    for name, (readers, writers) in catalogue.items():
+        obligations = ()
+        if name in audited:
+            obligations = (
+                ObligationSpec(
+                    obligation_id=f"audit-{name}",
+                    attributes=(("reason", audit_reason),),
+                ),
+            )
+        write_rule = RuleSpec(
+            roles=writers,
+            actions=("write",),
+            condition="home-tenant" if home_write else "",
+            rule_id=f"{name}-home-write" if home_write else f"{name}-write",
+        )
+        classes.append(
+            ServiceClassSpec(
+                name=name,
+                rules=(
+                    RuleSpec(roles=readers, actions=("read",), rule_id=f"{name}-read"),
+                    write_rule,
+                ),
+                obligations=obligations,
+                policy_id=f"{policy_prefix}{name}",
+            )
+        )
+    return tuple(classes)
+
+
+def healthcare_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="healthcare",
+        roles=("doctor", "nurse", "clerk"),
+        classes=(
+            ServiceClassSpec(
+                name="medical-record",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(roles=("doctor",), actions=("read",), rule_id="doctor-read"),
+                    RuleSpec(
+                        roles=("doctor",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="doctor-write-own-tenant",
+                    ),
+                    RuleSpec(
+                        effect="Deny", actions=("write",), rule_id="deny-clinical-writes"
+                    ),
+                ),
+                obligations=(
+                    ObligationSpec(
+                        obligation_id="log-clinical-access",
+                        attributes=(("reason", "GDPR art. 9 processing record"),),
+                    ),
+                ),
+                policy_id="medical-records",
+            ),
+            ServiceClassSpec(
+                name="lab-result",
+                rules=(
+                    # The corpus's conjunction quirk, preserved verbatim:
+                    # doctor AND nurse, satisfiable only by multi-role bags.
+                    RuleSpec(
+                        roles=("doctor", "nurse"),
+                        role_match="all",
+                        actions=("read",),
+                        rule_id="clinicians-read",
+                    ),
+                ),
+                policy_id="lab-results",
+            ),
+        ),
+        population=PopulationSpec(
+            subjects=60,
+            resources=300,
+            role_weights=(0.35, 0.35, 0.30),
+            read_fraction=0.85,
+        ),
+        arrival=ArrivalSpec(rate=2.0),
+        description="Hospitals in two clouds share records and lab results.",
+    )
+
+
+def ministry_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="ministry",
+        roles=("officer", "auditor", "intern"),
+        classes=(
+            ServiceClassSpec(
+                name="tax-document",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("officer",),
+                        actions=("read",),
+                        condition="clearance",
+                        rule_id="officer-clearance-read",
+                    ),
+                    RuleSpec(
+                        roles=("auditor",),
+                        actions=("read",),
+                        condition="office-hours",
+                        rule_id="auditor-office-hours",
+                    ),
+                    RuleSpec(
+                        roles=("officer",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="owner-tenant-write",
+                    ),
+                    RuleSpec(effect="Deny", rule_id="default-deny"),
+                ),
+                obligations=(
+                    ObligationSpec(
+                        obligation_id="notify-owner",
+                        attributes=(("channel", "audit-queue"),),
+                    ),
+                ),
+                policy_id="tax-documents",
+            ),
+        ),
+        population=PopulationSpec(
+            subjects=40,
+            resources=150,
+            role_weights=(0.5, 0.2, 0.3),
+            read_fraction=0.7,
+        ),
+        arrival=ArrivalSpec(rate=2.0),
+        description="Finance and interior ministries share tax documents.",
+    )
+
+
+def iot_edge_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="iot-edge",
+        roles=("sensor", "technician", "operator", "analyst"),
+        classes=_catalogue_classes(
+            _IOT_DEVICE_CLASSES,
+            audited=_IOT_AUDITED_CLASSES,
+            audit_reason="safety-critical device class",
+            home_write=False,
+            policy_prefix="iot-",
+        ),
+        population=PopulationSpec(
+            subjects=200,
+            resources=600,
+            role_weights=(0.45, 0.15, 0.25, 0.15),
+            read_fraction=0.6,
+        ),
+        arrival=ArrivalSpec(rate=2.0),
+        description="Edge clouds exchange telemetry, control and firmware "
+        "for a dozen device-data classes.",
+    )
+
+
+def delegation_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="delegation",
+        roles=("hr-officer", "finance-officer", "operator", "auditor", "delegate"),
+        classes=(
+            ServiceClassSpec(
+                name="hr-record",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("hr-officer",), actions=("read",), rule_id="hr-officer-read"
+                    ),
+                    RuleSpec(
+                        roles=("hr-officer",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="hr-officer-home-write",
+                    ),
+                    RuleSpec(
+                        roles=("delegate",),
+                        actions=("read",),
+                        condition="clearance",
+                        rule_id="delegate-attenuated-read",
+                    ),
+                    RuleSpec(effect="Deny", rule_id="hr-record-default-deny"),
+                ),
+                obligations=(
+                    ObligationSpec(
+                        obligation_id="record-delegated-access",
+                        attributes=(("registry", "delegation-ledger"),),
+                    ),
+                ),
+                group=("cloud-a",),
+                policy_id="hr-records",
+            ),
+            ServiceClassSpec(
+                name="finance-record",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("finance-officer",),
+                        actions=("read",),
+                        rule_id="finance-officer-read",
+                    ),
+                    RuleSpec(
+                        roles=("finance-officer",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="finance-officer-home-write",
+                    ),
+                    RuleSpec(
+                        roles=("delegate",),
+                        actions=("read",),
+                        condition="clearance",
+                        rule_id="delegate-attenuated-read",
+                    ),
+                    RuleSpec(effect="Deny", rule_id="finance-record-default-deny"),
+                ),
+                group=("cloud-a",),
+                policy_id="finance-records",
+            ),
+            ServiceClassSpec(
+                name="ops-log",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(roles=("operator",), rule_id="operator-read-write"),
+                    RuleSpec(
+                        roles=("auditor",), actions=("read",), rule_id="auditor-read"
+                    ),
+                    RuleSpec(effect="Deny", rule_id="ops-default-deny"),
+                ),
+                group=("cloud-b",),
+                policy_id="ops-logs",
+            ),
+            ServiceClassSpec(
+                name="audit-trail",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("auditor",), actions=("read",), rule_id="auditor-read-trail"
+                    ),
+                    RuleSpec(
+                        roles=("operator",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="operator-home-append",
+                    ),
+                    RuleSpec(effect="Deny", rule_id="trail-default-deny"),
+                ),
+                obligations=(
+                    ObligationSpec(
+                        obligation_id="notify-audit-board",
+                        fulfill_on="Deny",
+                        attributes=(("channel", "compliance-queue"),),
+                    ),
+                ),
+                group=("cloud-b",),
+                policy_id="audit-trails",
+            ),
+        ),
+        population=PopulationSpec(
+            subjects=80,
+            resources=240,
+            role_weights=(0.25, 0.2, 0.2, 0.15, 0.2),
+            read_fraction=0.75,
+        ),
+        arrival=ArrivalSpec(rate=2.0),
+        description="Cross-cloud delegation over nested administrative "
+        "and operational domains.",
+    )
+
+
+def audit_burst_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="audit-burst",
+        roles=("service", "auditor", "operator"),
+        classes=(
+            ServiceClassSpec(
+                name="audit-entry",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("service",), actions=("write",), rule_id="service-append"
+                    ),
+                    RuleSpec(
+                        roles=("auditor",), actions=("read",), rule_id="auditor-read"
+                    ),
+                    RuleSpec(effect="Deny", rule_id="audit-default-deny"),
+                ),
+                obligations=(
+                    ObligationSpec(
+                        obligation_id="retain-seven-years",
+                        attributes=(("basis", "compliance mandate"),),
+                    ),
+                ),
+                policy_id="audit-log",
+            ),
+            ServiceClassSpec(
+                name="service-record",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("operator",), actions=("read",), rule_id="operator-read"
+                    ),
+                    RuleSpec(
+                        roles=("operator",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="operator-home-write",
+                    ),
+                    RuleSpec(effect="Deny", rule_id="records-default-deny"),
+                ),
+                policy_id="service-records",
+            ),
+        ),
+        population=PopulationSpec(
+            subjects=120,
+            resources=480,
+            role_weights=(0.7, 0.1, 0.2),
+            read_fraction=0.25,
+            zipf_skew=1.3,
+        ),
+        arrival=ArrivalSpec(rate=25.0),
+        description="A tenant's services flood the chain with audit "
+        "appends while operators keep working.",
+    )
+
+
+def federation_scale_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="federation-scale",
+        roles=("caseworker", "analyst", "auditor", "service-bot"),
+        classes=_catalogue_classes(
+            _FEDERATION_SERVICE_CLASSES,
+            audited=_FEDERATION_AUDITED_CLASSES,
+            audit_reason="public-integrity register",
+            policy_prefix="svc-",
+        ),
+        population=PopulationSpec(
+            subjects=500,
+            resources=2000,
+            role_weights=(0.4, 0.25, 0.15, 0.2),
+            read_fraction=0.65,
+        ),
+        arrival=ArrivalSpec(rate=2500.0),
+        description="A whole-of-government federation whose arrival rate "
+        "exceeds one PDP evaluator's service rate.",
+    )
+
+
+def policy_churn_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="policy-churn",
+        roles=("caseworker", "contractor", "auditor"),
+        classes=(
+            ServiceClassSpec(
+                name="case-file",
+                combining="first-applicable",
+                rules=(
+                    RuleSpec(
+                        roles=("caseworker",), actions=("read",), rule_id="caseworker-read"
+                    ),
+                    RuleSpec(
+                        roles=("caseworker",),
+                        actions=("write",),
+                        condition="home-tenant",
+                        rule_id="caseworker-home-write",
+                    ),
+                    RuleSpec(
+                        roles=("auditor",), actions=("read",), rule_id="auditor-read"
+                    ),
+                    RuleSpec(effect="Deny", rule_id="case-default-deny"),
+                ),
+                policy_id="case-files",
+            ),
+        ),
+        churn=ChurnSpec(
+            generations=4,
+            stamp_class="case-file",
+            toggle_rule=RuleSpec(
+                roles=("contractor",), actions=("read",), rule_id="contractor-read"
+            ),
+        ),
+        population=PopulationSpec(
+            subjects=150,
+            resources=600,
+            role_weights=(0.45, 0.35, 0.2),
+            read_fraction=0.8,
+        ),
+        arrival=ArrivalSpec(rate=25.0),
+        description="Case handling while the policy is republished "
+        "mid-traffic; contractor access flips per generation.",
+    )
+
+
+def elastic_scale_spec() -> ScenarioSpec:
+    catalogue = ("alert-feed", "alert-feed", "alert-feed") + tuple(
+        c for c in _ELASTIC_SERVICE_CLASSES if c != "alert-feed"
+    )
+    return ScenarioSpec(
+        name="elastic-scale",
+        roles=("responder", "coordinator", "analyst", "ingest-bot"),
+        classes=_catalogue_classes(
+            _ELASTIC_SERVICE_CLASSES,
+            audited=_ELASTIC_AUDITED_CLASSES,
+            audit_reason="emergency-powers accountability record",
+            policy_prefix="civ-",
+        ),
+        population=PopulationSpec(
+            subjects=300,
+            resources=900,
+            role_weights=(0.45, 0.2, 0.15, 0.2),
+            read_fraction=0.75,
+            zipf_skew=1.5,
+            catalogue=catalogue,
+        ),
+        arrival=ArrivalSpec(rate=3000.0),
+        description="A civil-protection flash crowd whose hot keys and "
+        "spiking arrival rate demand an elastic decision plane.",
+    )
+
+
+def diurnal_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="diurnal",
+        roles=("citizen", "clerk", "inspector", "service-bot"),
+        classes=_catalogue_classes(_DIURNAL_SERVICE_CLASSES, policy_prefix="mun-"),
+        population=PopulationSpec(
+            subjects=300,
+            resources=800,
+            role_weights=(0.65, 0.2, 0.05, 0.1),
+            read_fraction=0.85,
+            zipf_skew=1.2,
+        ),
+        arrival=ArrivalSpec(rate=350.0, period=6.0, trough=0.1),
+        description="Citizens work the municipal portals through a daily "
+        "peak-trough-peak arrival curve; the efficient plane "
+        "sheds shards into the trough.",
+    )
+
+
+def partition_storm_spec() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="partition-storm",
+        roles=("operator", "commander", "liaison", "feed-bot"),
+        classes=_catalogue_classes(
+            _STORM_SERVICE_CLASSES,
+            audited=_STORM_AUDITED_CLASSES,
+            audit_reason="emergency-operations accountability record",
+            policy_prefix="em-",
+        ),
+        population=PopulationSpec(
+            subjects=200,
+            resources=600,
+            role_weights=(0.5, 0.2, 0.15, 0.15),
+            read_fraction=0.85,
+        ),
+        arrival=ArrivalSpec(rate=150.0),
+        description="An emergency-management federation that must keep "
+        "resolving access decisions while a scripted fault plan "
+        "partitions, crashes and degrades the substrate.",
+    )
+
+
+#: Preset factories, ordered like ``SCENARIO_FACTORIES``.
+PRESET_SPECS = (
+    healthcare_spec,
+    ministry_spec,
+    iot_edge_spec,
+    delegation_spec,
+    audit_burst_spec,
+    federation_scale_spec,
+    policy_churn_spec,
+    elastic_scale_spec,
+    diurnal_spec,
+    partition_storm_spec,
+)
+
+
+def preset_spec(name: str):
+    """Look a preset up by scenario name."""
+    for factory in PRESET_SPECS:
+        spec = factory()
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no preset spec named {name!r}")

@@ -11,13 +11,22 @@ the stream into a *diurnal* (sinusoidal) non-homogeneous process:
 of it half a period later, and the curve starts at the peak — the shape
 the autoscaling experiments use, where the right controller answer is to
 scale *down* into the trough and back up for the next crest.
+``arrival_harmonics`` multiplies further raised-cosine envelopes onto
+the base curve (weekly/seasonal mixes on top of the daily cycle).
+
+The subject and resource catalogues are *lazy*: attributes are drawn at
+construction time (so streams stay bit-identical across code changes)
+into compact index arrays, and the per-entity dicts are materialised only
+when a draw lands on them.  A million-subject population costs a few
+megabytes instead of a few hundred.
 """
 
 from __future__ import annotations
 
 import math
+from array import array
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from repro.common.errors import ValidationError
 from repro.common.rng import SeededRng
@@ -39,6 +48,10 @@ class WorkloadConfig:
     payload_padding_bytes: int = 0  # inflate request size (log-size sweeps)
     arrival_period: float = 0.0  # seconds per diurnal cycle; 0 = homogeneous
     arrival_trough: float = 0.1  # trough rate as a fraction of the peak
+    #: Extra ``(period, trough)`` raised-cosine envelopes multiplied onto
+    #: the base curve — weekly or seasonal mixes over the daily cycle.
+    #: Empty (the default) leaves every historical stream bit-identical.
+    arrival_harmonics: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if self.subjects <= 0 or self.resources <= 0:
@@ -55,6 +68,14 @@ class WorkloadConfig:
             # A zero trough would stall the stream outright (expovariate
             # at rate 0 never fires); the trough is a dip, not a stop.
             raise ValidationError("arrival_trough must be in (0, 1]")
+        for harmonic in self.arrival_harmonics:
+            if len(harmonic) != 2:
+                raise ValidationError("arrival_harmonics entries are (period, trough)")
+            period, trough = harmonic
+            if period <= 0:
+                raise ValidationError("harmonic period must be positive")
+            if not 0.0 < trough <= 1.0:
+                raise ValidationError("harmonic trough must be in (0, 1]")
 
 
 @dataclass
@@ -68,51 +89,93 @@ class GeneratedRequest:
     index: int
 
 
+class _SubjectCatalogue(Sequence):
+    """Lazy subject population: index arrays in, dicts out on demand."""
+
+    def __init__(self, roles: tuple[str, ...], role_indices: array,
+                 clearances: array) -> None:
+        self._roles = roles
+        self._role_indices = role_indices
+        self._clearances = clearances
+
+    def __len__(self) -> int:
+        return len(self._role_indices)
+
+    def __getitem__(self, index: int) -> dict:
+        if isinstance(index, slice):
+            raise TypeError("subject catalogue does not support slicing")
+        return {
+            "subject-id": f"subject-{index if index >= 0 else index + len(self)}",
+            "role": self._roles[self._role_indices[index]],
+            "clearance": self._clearances[index],
+        }
+
+
+class _ResourceCatalogue(Sequence):
+    """Lazy resource catalogue: types round-robin, sensitivities drawn."""
+
+    def __init__(self, resource_types: tuple[str, ...],
+                 sensitivities: array) -> None:
+        self._types = resource_types
+        self._sensitivities = sensitivities
+
+    def __len__(self) -> int:
+        return len(self._sensitivities)
+
+    def __getitem__(self, index: int) -> dict:
+        if isinstance(index, slice):
+            raise TypeError("resource catalogue does not support slicing")
+        if index < 0:
+            index += len(self)
+        return {
+            "resource-id": f"resource-{index}",
+            "type": self._types[index % len(self._types)],
+            "sensitivity": self._sensitivities[index],
+        }
+
+
 class RequestGenerator:
     """Draws subjects/resources/actions and arrival times from one seed."""
 
     def __init__(self, config: WorkloadConfig, rng: SeededRng) -> None:
         self.config = config
         self.rng = rng.fork("workload")
-        self._subjects = [self._make_subject(i) for i in range(config.subjects)]
-        self._resources = [self._make_resource(i) for i in range(config.resources)]
+        # Attribute draws happen here, in the historical order (all
+        # subjects, then all resources), so streams are bit-identical to
+        # the eager-list implementation; only the dict materialisation is
+        # deferred to access time.
+        role_indices = array("H")
+        clearances = array("B")
+        for _ in range(config.subjects):
+            role_indices.append(self._weighted_index(config.role_weights, self.rng))
+            clearances.append(self.rng.randint(1, 5))
+        sensitivities = array("B")
+        for _ in range(config.resources):
+            sensitivities.append(self.rng.randint(1, 5))
+        self._subjects = _SubjectCatalogue(config.roles, role_indices, clearances)
+        self._resources = _ResourceCatalogue(config.resource_types, sensitivities)
 
-    def _weighted_choice(self, items: tuple[str, ...], weights: tuple[float, ...],
-                         rng: SeededRng) -> str:
+    def _weighted_index(self, weights: tuple[float, ...], rng: SeededRng) -> int:
         total = sum(weights)
         target = rng.random() * total
         acc = 0.0
-        for item, weight in zip(items, weights):
+        for index, weight in enumerate(weights):
             acc += weight
             if acc >= target:
-                return item
-        return items[-1]
+                return index
+        return len(weights) - 1
 
-    def _make_subject(self, index: int) -> dict:
-        role = self._weighted_choice(self.config.roles, self.config.role_weights,
-                                     self.rng)
-        return {
-            "subject-id": f"subject-{index}",
-            "role": role,
-            "clearance": self.rng.randint(1, 5),
-        }
-
-    def _make_resource(self, index: int) -> dict:
-        resource_type = self.config.resource_types[
-            index % len(self.config.resource_types)]
-        return {
-            "resource-id": f"resource-{index}",
-            "type": resource_type,
-            "sensitivity": self.rng.randint(1, 5),
-        }
+    def _weighted_choice(self, items: tuple[str, ...], weights: tuple[float, ...],
+                         rng: SeededRng) -> str:
+        return items[self._weighted_index(weights, rng)]
 
     # -- stream --------------------------------------------------------------
 
     def subjects(self) -> list[dict]:
-        return [dict(subject) for subject in self._subjects]
+        return [self._subjects[index] for index in range(len(self._subjects))]
 
     def resources(self) -> list[dict]:
-        return [dict(resource) for resource in self._resources]
+        return [self._resources[index] for index in range(len(self._resources))]
 
     def arrival_rate_at(self, elapsed: float) -> float:
         """Instantaneous arrival rate ``elapsed`` seconds into the stream.
@@ -121,15 +184,22 @@ class RequestGenerator:
         ``arrival_rate``.  Diurnal streams follow a raised cosine that
         starts at the peak: rate(t) = peak × (trough + (1 − trough) ×
         (1 + cos(2πt/period)) / 2), dipping to ``arrival_trough`` of the
-        peak half a period in and recovering by the full period.
+        peak half a period in and recovering by the full period.  Each
+        ``arrival_harmonics`` entry multiplies one more such envelope.
         """
         config = self.config
-        if config.arrival_period <= 0:
-            return config.arrival_rate
-        crest = 0.5 * (1.0 + math.cos(2.0 * math.pi * elapsed / config.arrival_period))
-        return config.arrival_rate * (
-            config.arrival_trough + (1.0 - config.arrival_trough) * crest
-        )
+        rate = config.arrival_rate
+        if config.arrival_period > 0:
+            rate *= self._envelope(
+                elapsed, config.arrival_period, config.arrival_trough)
+        for period, trough in config.arrival_harmonics:
+            rate *= self._envelope(elapsed, period, trough)
+        return rate
+
+    @staticmethod
+    def _envelope(elapsed: float, period: float, trough: float) -> float:
+        crest = 0.5 * (1.0 + math.cos(2.0 * math.pi * elapsed / period))
+        return trough + (1.0 - trough) * crest
 
     def requests(self, count: int, start_at: float = 0.0) -> Iterator[GeneratedRequest]:
         """Yield ``count`` requests with Poisson arrivals from ``start_at``.

@@ -8,140 +8,14 @@ generate random policy trees and random requests over a small attribute
 vocabulary and require the two implementations to agree exactly.
 """
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, settings
 
 from repro.analysis.semantics import evaluate_document
-from repro.xacml.attributes import DataType
 from repro.xacml.context import RequestContext
 from repro.xacml.parser import policy_from_dict
 from repro.xacml.pdp import PolicyDecisionPoint
 
-ROLES = ["doctor", "nurse", "clerk"]
-ACTIONS = ["read", "write"]
-TYPES = ["record", "report"]
-
-rule_combinings = st.sampled_from(
-    ["deny-overrides", "permit-overrides", "first-applicable",
-     "deny-unless-permit", "permit-unless-deny"])
-policy_combinings = st.sampled_from(
-    ["deny-overrides", "permit-overrides", "first-applicable",
-     "only-one-applicable", "deny-unless-permit", "permit-unless-deny"])
-
-
-def match_doc(function, value, category, attribute_id, data_type=DataType.STRING):
-    return {"function": function, "value": value, "category": category,
-            "attribute_id": attribute_id, "data_type": data_type}
-
-
-matches = st.one_of(
-    st.sampled_from(ROLES).map(
-        lambda r: match_doc("string-equal", r, "subject", "role")),
-    st.sampled_from(ACTIONS).map(
-        lambda a: match_doc("string-equal", a, "action", "action-id")),
-    st.sampled_from(TYPES).map(
-        lambda t: match_doc("string-equal", t, "resource", "type")),
-    st.integers(min_value=1, max_value=5).map(
-        lambda n: match_doc("integer-less-than", n, "subject", "clearance",
-                            DataType.INTEGER)),
-)
-
-targets = st.one_of(
-    st.none(),
-    st.lists(  # any_ofs
-        st.lists(  # all_ofs
-            st.lists(matches, min_size=1, max_size=2),
-            min_size=1, max_size=2),
-        min_size=1, max_size=2),
-)
-
-# Conditions: boolean expressions over the same vocabulary; includes
-# constructs that can raise (one-and-only over a possibly-missing attribute)
-# so indeterminate paths are exercised too.
-conditions = st.one_of(
-    st.none(),
-    st.booleans().map(lambda b: {"literal": b, "data_type": "boolean"}),
-    st.sampled_from(ACTIONS).map(lambda a: {
-        "apply": "any-of",
-        "arguments": [
-            {"literal": "string-equal", "data_type": "string"},
-            {"literal": a, "data_type": "string"},
-            {"designator": {"category": "action", "attribute_id": "action-id",
-                            "data_type": "string", "must_be_present": False}},
-        ]}),
-    st.integers(min_value=1, max_value=5).map(lambda n: {
-        "apply": "integer-greater-than-or-equal",
-        "arguments": [
-            {"apply": "one-and-only", "arguments": [
-                {"designator": {"category": "subject",
-                                "attribute_id": "clearance",
-                                "data_type": "integer",
-                                "must_be_present": False}}]},
-            {"literal": n, "data_type": "integer"},
-        ]}),
-    st.just({
-        "apply": "one-and-only",
-        "arguments": [{"designator": {
-            "category": "environment", "attribute_id": "ghost",
-            "data_type": "string", "must_be_present": True}}],
-    }),
-)
-
-
-@st.composite
-def rules(draw, index=0):
-    return {
-        "rule_id": f"rule-{draw(st.integers(0, 999))}",
-        "effect": draw(st.sampled_from(["Permit", "Deny"])),
-        "target": draw(targets),
-        "condition": draw(conditions),
-        "description": "",
-    }
-
-
-@st.composite
-def policies(draw):
-    return {
-        "kind": "policy",
-        "policy_id": f"policy-{draw(st.integers(0, 999))}",
-        "rule_combining": draw(rule_combinings),
-        "target": draw(targets),
-        "rules": draw(st.lists(rules(), min_size=1, max_size=4)),
-        "obligations": [],
-        "description": "",
-    }
-
-
-@st.composite
-def policy_sets(draw, depth=1):
-    children = st.lists(
-        policies() if depth <= 0 else st.one_of(policies(), policy_sets(depth - 1)),
-        min_size=1, max_size=3)
-    return {
-        "kind": "policy_set",
-        "policy_set_id": f"set-{draw(st.integers(0, 999))}",
-        "policy_combining": draw(policy_combinings),
-        "target": draw(targets),
-        "children": draw(children),
-        "obligations": [],
-        "description": "",
-    }
-
-
-documents = st.one_of(policies(), policy_sets(depth=1))
-
-
-@st.composite
-def request_dicts(draw):
-    request: dict = {
-        "subject": {"role": [draw(st.sampled_from(ROLES))]},
-        "action": {"action-id": [draw(st.sampled_from(ACTIONS))]},
-        "resource": {"type": [draw(st.sampled_from(TYPES))]},
-    }
-    if draw(st.booleans()):
-        request["subject"]["clearance"] = [draw(st.integers(1, 5))]
-    if draw(st.booleans()):
-        request["subject"]["role"].append(draw(st.sampled_from(ROLES)))
-    return request
+from tests.strategies import documents, request_dicts
 
 
 class TestDifferential:

@@ -30,51 +30,16 @@ from repro.crypto.hashing import hash_value
 from repro.crypto.merkle import MerkleTree
 from repro.crypto.signatures import Signature, SigningKey
 from repro.drams.logs import EntryType, LogEntry
+from tests.strategies import (
+    FASTPATH_KEY as KEY,
+    args_dicts,
+    headers,
+    json_values,
+    transactions,
+)
 
 ALL_OFF = dict(encoding_cache=False, verify_cache=False,
                contract_inplace=False, compiled_oracle=False)
-
-KEY = SigningKey.generate(b"fastpath-tests")
-
-# JSON-safe argument values (what contract calls actually carry).
-json_values = st.recursive(
-    st.one_of(st.none(), st.booleans(), st.integers(-2**40, 2**40),
-              st.floats(allow_nan=False, allow_infinity=False, width=32),
-              st.text(max_size=12)),
-    lambda children: st.one_of(
-        st.lists(children, max_size=3),
-        st.dictionaries(st.text(max_size=6), children, max_size=3)),
-    max_leaves=8)
-
-args_dicts = st.dictionaries(st.text(min_size=1, max_size=8), json_values,
-                             max_size=4)
-
-
-@st.composite
-def transactions(draw, signed=st.booleans()):
-    tx = Transaction(
-        sender=draw(st.sampled_from(["li-1", "li-2", "analyser"])),
-        contract="drams-monitor",
-        method=draw(st.sampled_from(["record_log", "tick"])),
-        args=draw(args_dicts),
-        seq=draw(st.integers(1, 10_000)),
-    )
-    if draw(signed):
-        tx.sign(KEY)
-    return tx
-
-
-@st.composite
-def headers(draw):
-    return BlockHeader(
-        height=draw(st.integers(0, 10_000)),
-        prev_hash=draw(st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)),
-        merkle_root=draw(st.text(alphabet="0123456789abcdef", min_size=8, max_size=64)),
-        timestamp=draw(st.floats(min_value=0, max_value=1e9, allow_nan=False)),
-        difficulty_bits=draw(st.floats(min_value=1.0, max_value=64.0, allow_nan=False)),
-        miner=draw(st.text(min_size=1, max_size=20)),
-        nonce=draw(st.integers(0, 2**32)),
-    )
 
 
 class TestTransactionEncodingCache:

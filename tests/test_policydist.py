@@ -4,7 +4,6 @@ import copy
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.accesscontrol.pap import PolicyAdministrationPoint
 from repro.accesscontrol.plane import ShardedPdpPlane
@@ -29,6 +28,7 @@ from repro.workload.scenarios import (
 from repro.xacml.parser import policy_to_dict
 from repro.xacml.policy import Effect, Policy, Rule
 from tests.conftest import fast_drams_config
+from tests.strategies import delivery_orders
 
 
 def doc(tag="base"):
@@ -153,7 +153,7 @@ class TestPrpReplica:
         assert replica.version_vector() == {"prp@infra": 2}
 
     @settings(max_examples=25, deadline=None)
-    @given(st.permutations(range(5)))
+    @given(delivery_orders(5))
     def test_any_delivery_order_converges_to_the_same_head(self, order):
         """Anti-entropy hypothesis: delivery order never changes the head."""
         records = records_for(*(doc(f"gen-{i}") for i in range(5)))

@@ -1,0 +1,299 @@
+"""Scenario-generator property suite.
+
+Four claims, stacked from document level up to full deployments:
+
+- **Conformance** — every hand-built scenario in
+  :data:`~repro.workload.scenarios.SCENARIO_FACTORIES` is expressible as
+  a :class:`ScenarioSpec`: the compiled preset has an equal workload
+  config and agrees with the hand-built policy on decisions *and*
+  obligations over sampled requests (churn generations included).
+- **Validity** — tree-synthesised specs honour the generator's
+  guarantees on every hypothesis draw: all roles reachable, all service
+  classes readable, a permit path for every tenant.
+- **Determinism** — same spec + same seed reproduces the documents and
+  workload exactly, and a rebuilt stack replays bit-identical decisions,
+  alerts and chain head; streaming issuance enforces the same outcomes
+  as the materialised batch path.
+- **Soundness / completeness** — honest random federations raise zero
+  alerts; every threat class in a spec's attack mix is detected.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.properties import sample_requests
+from repro.common.ids import reset_id_counter
+from repro.common.rng import SeededRng
+from repro.crypto.hashing import hash_value
+from repro.scenariogen import (
+    ArrivalSpec,
+    FederationShape,
+    PopulationSpec,
+    PRESET_SPECS,
+    ScenarioSpec,
+    TreeSpec,
+    build_stack_from_spec,
+    default_attacks,
+    generate_scenario,
+    preset_spec,
+    spec_from_json,
+    spec_to_json,
+    validity_report,
+)
+from repro.threats.adversary import Adversary
+from repro.workload.scenarios import SCENARIO_FACTORIES
+from repro.xacml.context import RequestContext
+from repro.xacml.parser import policy_from_dict
+from repro.xacml.pdp import PolicyDecisionPoint
+from tests.conftest import fast_drams_config
+from tests.strategies import scenario_specs
+
+CONFORMANCE_SAMPLES = 80
+
+#: A fixed tree-synthesised spec small enough for stack-level runs.
+SMALL_SPEC = ScenarioSpec(
+    name="prop-small",
+    roles=("analyst", "operator", "auditor"),
+    tree=TreeSpec(classes=3, depth=1, width=2, audited_fraction=0.5),
+    federation=FederationShape(clouds=2),
+    population=PopulationSpec(subjects=12, resources=24, read_fraction=0.7),
+    arrival=ArrivalSpec(rate=2.0),
+    description="small synthetic federation for stack-level properties",
+)
+
+
+def _verdicts(document: dict, requests: list) -> list:
+    """Decision + obligations for each request, under one compiled PDP."""
+    pdp = PolicyDecisionPoint(policy_from_dict(document))
+    out = []
+    for request in requests:
+        result = pdp.evaluate(RequestContext.from_dict(request))
+        out.append((result.decision.value, hash_value(result.obligations)))
+    return out
+
+
+def _build_and_run(spec, *, seed, requests=10, horizon=30.0, **build_kwargs):
+    # Two builds inside one test must start from the same id origin for
+    # bit-identity; the autouse fixture only resets between tests.
+    reset_id_counter()
+    stack = build_stack_from_spec(
+        spec, seed=seed, drams_config=fast_drams_config(), **build_kwargs)
+    stack.start()
+    stack.issue_requests(requests)
+    stack.run(until=horizon)
+    return stack
+
+
+def _fingerprint(stack) -> dict:
+    decisions = sorted(
+        (
+            round(o.requested_at, 9),
+            hash_value(o.request.content),
+            o.decision.decision,
+            hash_value(o.decision.obligations),
+            o.decision.status_code,
+        )
+        for o in stack.outcomes
+    )
+    alerts = sorted(a.alert_type.value for a in stack.drams.alerts.all())
+    return {"decisions": decisions, "alerts": alerts,
+            "chain_head": stack.drams.reference_chain().head.hash}
+
+
+# -- conformance to the hand-built corpus --------------------------------------
+
+
+class TestPresetConformance:
+    @pytest.mark.parametrize(
+        "factory,spec_factory",
+        list(zip(SCENARIO_FACTORIES, PRESET_SPECS)),
+        ids=[factory().name for factory in SCENARIO_FACTORIES])
+    def test_compiled_preset_matches_hand_built(self, factory, spec_factory):
+        hand = factory()
+        spec = spec_factory()
+        compiled = generate_scenario(spec)
+        assert compiled.name == hand.name
+        assert compiled.workload == hand.workload
+        assert len(compiled.policy_variants) == len(hand.policy_variants)
+        rng = SeededRng(7, f"conformance/{hand.name}")
+        requests = list(sample_requests(hand.domain, CONFORMANCE_SAMPLES, rng))
+        assert _verdicts(compiled.policy_document, requests) == _verdicts(
+            hand.policy_document, requests)
+        for hand_doc, compiled_doc in zip(
+                hand.policy_variants, compiled.policy_variants):
+            assert _verdicts(compiled_doc, requests) == _verdicts(
+                hand_doc, requests)
+
+    def test_preset_lookup(self):
+        assert preset_spec("healthcare").name == "healthcare"
+        with pytest.raises(KeyError):
+            preset_spec("nonesuch")
+
+
+# -- spec serialisation --------------------------------------------------------
+
+
+class TestSpecJson:
+    @pytest.mark.parametrize(
+        "spec_factory", PRESET_SPECS,
+        ids=[factory().name for factory in PRESET_SPECS])
+    def test_preset_round_trip(self, spec_factory):
+        spec = spec_factory()
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+    @given(scenario_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_sampled_round_trip(self, spec):
+        assert spec_from_json(spec_to_json(spec)) == spec
+
+
+# -- validity guarantees -------------------------------------------------------
+
+
+class TestValidityGuarantees:
+    @given(scenario_specs(), st.integers(0, 2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_tree_synthesised_specs_are_valid(self, spec, seed):
+        report = validity_report(spec, seed=seed)
+        assert report["ok"], report
+
+
+# -- determinism ---------------------------------------------------------------
+
+
+class TestDeterminism:
+    @given(scenario_specs(), st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_same_spec_same_seed_compiles_identically(self, spec, seed):
+        first = generate_scenario(spec, seed=seed)
+        second = generate_scenario(spec, seed=seed)
+        assert first.policy_document == second.policy_document
+        assert first.workload == second.workload
+        assert first.policy_variants == second.policy_variants
+
+    def test_stack_rerun_is_bit_identical(self):
+        first = _fingerprint(_build_and_run(SMALL_SPEC, seed=11))
+        second = _fingerprint(_build_and_run(SMALL_SPEC, seed=11))
+        assert first == second
+        assert first["decisions"], "the run must actually enforce decisions"
+
+    def test_different_seed_diverges(self):
+        """The fingerprint is sensitive — different seed, different run."""
+        first = _fingerprint(_build_and_run(SMALL_SPEC, seed=11))
+        second = _fingerprint(_build_and_run(SMALL_SPEC, seed=12))
+        assert first["chain_head"] != second["chain_head"]
+
+
+# -- streaming issuance --------------------------------------------------------
+
+
+class TestStreamingHarness:
+    def _build(self):
+        reset_id_counter()
+        stack = build_stack_from_spec(SMALL_SPEC, with_drams=False)
+        stack.start()
+        return stack
+
+    def test_stream_enforces_same_outcomes_as_batch(self):
+        batch = self._build()
+        batch.issue_requests(40)
+        batch.run(until=60.0)
+
+        streamed = self._build()
+        handle = streamed.issue_stream(40, record_outcomes=True)
+        streamed.run(until=60.0)
+
+        def outcome_key(outcome):
+            return (round(outcome.requested_at, 9),
+                    hash_value(outcome.request.content),
+                    outcome.decision.decision,
+                    outcome.decision.status_code)
+
+        assert handle.issued == 40
+        assert handle.enforced == len(batch.outcomes)
+        assert handle.granted == sum(1 for o in batch.outcomes if o.granted)
+        assert sorted(map(outcome_key, streamed.outcomes)) == sorted(
+            map(outcome_key, batch.outcomes))
+
+    def test_stream_default_keeps_outcomes_empty(self):
+        stack = self._build()
+        handle = stack.issue_stream(25)
+        stack.run(until=60.0)
+        assert handle.enforced == 25
+        assert stack.outcomes == []
+        snapshot = handle.metrics.snapshot()
+        assert snapshot["count"] == 25
+        assert sum(w["count"] for w in snapshot["windows"]) == 25
+
+
+# -- monitor soundness ---------------------------------------------------------
+
+
+class TestMonitorSoundness:
+    @given(scenario_specs())
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_honest_random_federations_raise_no_alerts(self, spec):
+        reset_id_counter()
+        stack = build_stack_from_spec(
+            spec, drams_config=fast_drams_config())
+        stack.start()
+        stack.issue_requests(6)
+        stack.run(until=25.0)
+        assert len(stack.outcomes) == 6
+        assert stack.drams.alerts.count() == 0, stack.drams.alerts.all()
+
+
+# -- attack-mix completeness ---------------------------------------------------
+
+
+#: Threat class → stack seed giving it traffic to act on (as in
+#: test_threats, detection of traffic-dependent attacks like log-tamper
+#: needs the tampered tenant to actually enforce mismatching decisions).
+ATTACK_MIX = (
+    ("request-tamper", 51),
+    ("decision-tamper", 52),
+    ("pdp-circumvention", 53),
+    ("evaluation-tamper", 54),
+    ("policy-swap", 55),
+    ("log-tamper", 58),
+    ("replay", 60),
+)
+
+
+class TestAttackMixCompleteness:
+    def test_campaign_is_deterministic(self):
+        names = tuple(name for name, _ in ATTACK_MIX)
+        spec = dataclasses.replace(preset_spec("healthcare"), attacks=names)
+        first = default_attacks(spec, seed=5)
+        second = default_attacks(spec, seed=5)
+        assert [type(a).__name__ for a in first] == [
+            type(a).__name__ for a in second]
+        assert len(first) == len(names)
+
+    @pytest.mark.parametrize("attack_name,seed", ATTACK_MIX,
+                             ids=[name for name, _ in ATTACK_MIX])
+    def test_every_injected_class_is_detected(self, attack_name, seed):
+        spec = dataclasses.replace(
+            preset_spec("healthcare"), attacks=(attack_name,))
+        (attack,) = default_attacks(spec, seed=5)
+        reset_id_counter()
+        stack = build_stack_from_spec(
+            spec, seed=seed, drams_config=fast_drams_config())
+        stack.start()
+        adversary = Adversary(stack.drams)
+        adversary.launch(attack, at=0.2)
+        stack.issue_requests(8)
+        if attack_name == "replay":
+            # The replay envelope only fires when the attacker re-submits
+            # it; capture during the run, replay mid-stream.
+            stack.sim.schedule(10.0, lambda: attack.replay_now(
+                stack.drams, {"subject-id": "mallory",
+                              "role": spec.roles[0]}))
+        stack.run(until=40.0)
+        record = adversary.records()[0]
+        assert record.detected, f"{attack_name} went undetected"
+        assert adversary.false_positives() == []

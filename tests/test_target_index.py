@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from test_differential import documents, request_dicts
+from tests.strategies import documents, request_dicts
 
 from repro.xacml.context import Decision, RequestContext
 from repro.xacml.index import (

@@ -72,6 +72,68 @@ class TestWorkloadGenerator:
             WorkloadConfig(arrival_rate=0)
 
 
+class TestWorkloadGeneratorEdges:
+    def test_flat_stream_rate_is_constant(self):
+        generator = RequestGenerator(WorkloadConfig(arrival_rate=10.0), SeededRng(5))
+        assert generator.arrival_rate_at(0.0) == 10.0
+        assert generator.arrival_rate_at(123.4) == 10.0
+
+    def test_diurnal_rate_at_period_boundaries(self):
+        config = WorkloadConfig(arrival_rate=100.0, arrival_period=8.0,
+                                arrival_trough=0.2)
+        generator = RequestGenerator(config, SeededRng(5))
+        assert generator.arrival_rate_at(0.0) == pytest.approx(100.0)
+        assert generator.arrival_rate_at(4.0) == pytest.approx(20.0)  # trough
+        assert generator.arrival_rate_at(8.0) == pytest.approx(100.0)  # peak again
+        assert generator.arrival_rate_at(2.0) == pytest.approx(60.0)  # midpoint
+
+    def test_harmonics_multiply_envelopes(self):
+        config = WorkloadConfig(arrival_rate=100.0, arrival_period=8.0,
+                                arrival_trough=0.2,
+                                arrival_harmonics=((4.0, 0.5),))
+        generator = RequestGenerator(config, SeededRng(5))
+        # At t=0 every envelope peaks; at t=2 the harmonic bottoms out
+        # (half its 4s period) while the base is at its midpoint.
+        assert generator.arrival_rate_at(0.0) == pytest.approx(100.0)
+        assert generator.arrival_rate_at(2.0) == pytest.approx(60.0 * 0.5)
+
+    def test_harmonics_validation(self):
+        with pytest.raises(ValidationError):
+            WorkloadConfig(arrival_harmonics=((0.0, 0.5),))
+        with pytest.raises(ValidationError):
+            WorkloadConfig(arrival_harmonics=((4.0, 0.0),))
+        with pytest.raises(ValidationError):
+            WorkloadConfig(arrival_harmonics=((4.0, 0.5, 1.0),))
+
+    def test_single_resource_catalogue(self):
+        config = WorkloadConfig(subjects=1, resources=1, zipf_skew=2.0)
+        generator = RequestGenerator(config, SeededRng(5))
+        seen = {r.resource["resource-id"] for r in generator.requests(20)}
+        assert seen == {"resource-0"}
+
+    def test_streaming_consumption_matches_materialised(self):
+        """Pulling lazily from the iterator equals materialising it."""
+        materialised = list(
+            RequestGenerator(WorkloadConfig(), SeededRng(9)).requests(40))
+        streamed = []
+        stream = RequestGenerator(WorkloadConfig(), SeededRng(9)).requests(40)
+        while True:
+            request = next(stream, None)
+            if request is None:
+                break
+            streamed.append(request)
+        assert [(r.at, r.subject, r.resource, r.action) for r in streamed] == [
+            (r.at, r.subject, r.resource, r.action) for r in materialised]
+
+    def test_catalogues_expose_full_population(self):
+        generator = RequestGenerator(
+            WorkloadConfig(subjects=7, resources=11), SeededRng(5))
+        assert len(generator.subjects()) == 7
+        assert len(generator.resources()) == 11
+        assert generator.subjects()[3]["subject-id"] == "subject-3"
+        assert generator.resources()[10]["resource-id"] == "resource-10"
+
+
 class TestScenarios:
     @pytest.mark.parametrize("scenario_factory", SCENARIO_FACTORIES)
     def test_policy_documents_parse_and_evaluate(self, scenario_factory):
